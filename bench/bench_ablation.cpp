@@ -1,0 +1,134 @@
+// Ablations over DEX's two tunable design constants (DESIGN.md §2):
+//
+// (1) walk_factor ℓ (type-1 walk length = ⌈ℓ·ln n⌉): Lemma 2 needs walks
+//     long enough to hit Spare/Low w.h.p. — too short and recovery burns
+//     retries (and, in the limit, exploratory floods); too long and every
+//     step overpays. Sweep ℓ and report retries + per-step cost.
+//
+// (2) θ (rebuilding parameter, trigger at 3θn in worst-case mode): larger θ
+//     triggers rebuilds earlier (more often, smaller safety margin used) and
+//     makes the staggered batch 1/θ smaller; smaller θ stretches rebuilds
+//     out. Sweep θ and report rebuild frequency and worst per-step cost.
+//
+// (3) Sampling quality vs walk length (the Θ(log n) choice in services.h):
+//     total-variation distance of sample_node()'s output from uniform, as a
+//     function of walk_factor — shows the mixing knee the paper's Θ(log n)
+//     choices rely on.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "dex/services.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+using namespace dex;
+
+int main() {
+  std::printf("=== Ablation 1: type-1 walk length factor ===\n\n");
+  {
+    metrics::Table t({"walk_factor", "walk len @n=512", "retries/1k steps",
+                      "msgs/step (mean)", "rounds/step (mean)"});
+    for (double wf : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      Params prm;
+      prm.seed = 55;
+      prm.mode = RecoveryMode::WorstCase;
+      prm.walk_factor = wf;
+      prm.max_walk_retries = 512;
+      DexNetwork net(512, prm);
+      support::Rng rng(7);
+      std::uint64_t retries = 0, msgs = 0, rounds = 0;
+      const std::size_t steps = 1000;
+      for (std::size_t s = 0; s < steps; ++s) {
+        const auto nodes = net.alive_nodes();
+        if (rng.chance(0.5) && net.n() > 256) {
+          net.remove(nodes[rng.below(nodes.size())]);
+        } else {
+          net.insert(nodes[rng.below(nodes.size())]);
+        }
+        retries += net.last_report().walk_retries;
+        msgs += net.last_report().cost.messages;
+        rounds += net.last_report().cost.rounds;
+      }
+      t.add_row({metrics::Table::num(wf, 1),
+                 std::to_string(support::scaled_log(wf, 512)),
+                 std::to_string(retries),
+                 metrics::Table::num(static_cast<double>(msgs) / steps, 1),
+                 metrics::Table::num(static_cast<double>(rounds) / steps, 1)});
+    }
+    t.print();
+    std::printf(
+        "\nShape check: retries collapse once walks reach ~2·ln n (Lemma 2's\n"
+        "w.h.p. threshold); beyond that, cost grows linearly in the factor\n"
+        "with no benefit — the paper's Θ(log n) choice is the knee.\n");
+  }
+
+  std::printf("\n=== Ablation 2: rebuilding parameter theta ===\n\n");
+  {
+    metrics::Table t({"theta", "rebuilds (grow 8x)", "max msgs/step",
+                      "max topo/step", "forced sync"});
+    for (double th : {1.0 / 8, 1.0 / 16, 1.0 / 24, 1.0 / 48, 1.0 / 96}) {
+      Params prm;
+      prm.seed = 56;
+      prm.mode = RecoveryMode::WorstCase;
+      prm.theta = th;
+      DexNetwork net(128, prm);
+      support::Rng rng(8);
+      std::uint64_t max_msgs = 0, max_topo = 0;
+      while (net.n() < 1024) {
+        const auto nodes = net.alive_nodes();
+        net.insert(nodes[rng.below(nodes.size())]);
+        max_msgs = std::max(max_msgs, net.last_report().cost.messages);
+        max_topo =
+            std::max(max_topo, net.last_report().cost.topology_changes);
+      }
+      t.add_row({metrics::Table::num(th, 4),
+                 std::to_string(net.inflation_count()),
+                 std::to_string(max_msgs), std::to_string(max_topo),
+                 std::to_string(net.forced_sync_type2())});
+    }
+    t.print();
+    std::printf(
+        "\nShape check: rebuild count is θ-invariant (it is driven by the\n"
+        "p/n ratio); per-step maxima grow as θ shrinks (batch ∝ 1/θ) — the\n"
+        "paper's constant-θ choice trades step cost against safety margin.\n");
+  }
+
+  std::printf("\n=== Ablation 3: sampling uniformity vs walk length ===\n\n");
+  {
+    metrics::Table t({"walk_factor", "TV distance from uniform",
+                      "mean msgs/sample"});
+    for (double wf : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      Params prm;
+      prm.seed = 57;
+      prm.walk_factor = wf;
+      DexNetwork net(64, prm);
+      const std::size_t kSamples = 12800;
+      std::map<NodeId, std::size_t> counts;
+      std::uint64_t msgs = 0;
+      for (std::size_t i = 0; i < kSamples; ++i) {
+        const auto s = sample_node(net, 0);
+        ++counts[s.node];
+        msgs += s.cost.messages;
+      }
+      double tv = 0;
+      for (auto u : net.alive_nodes()) {
+        const double freq =
+            static_cast<double>(counts[u]) / static_cast<double>(kSamples);
+        tv += std::abs(freq - 1.0 / 64.0);
+      }
+      tv /= 2;
+      t.add_row({metrics::Table::num(wf, 2), metrics::Table::num(tv, 4),
+                 metrics::Table::num(
+                     static_cast<double>(msgs) / kSamples, 1)});
+    }
+    t.print();
+    std::printf(
+        "\nShape check: TV distance drops toward the sampling-noise floor\n"
+        "once walks pass ~1·ln n — the fast-mixing property Lemma 2 and the\n"
+        "DHT both rely on.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E8 — Corollary 2 (§5): batches of εn insertions/deletions per step.
+// Sweep n and ε; report messages and rounds per batch against the
+// O(n log² n) / O(log³ n) envelopes, and the frequency of type-2 fallbacks.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dex/batch.h"
+#include "graph/bfs.h"
+#include "metrics/table.h"
+
+using namespace dex;
+
+int main() {
+  std::printf("=== E8 / Corollary 2: batched churn ===\n\n");
+  metrics::Table t({"n", "eps", "batch size", "msgs / (n log^2 n)",
+                    "rounds / log^3 n", "walk epochs", "type2 used"});
+
+  for (std::size_t n0 : {256u, 1024u, 4096u}) {
+    for (double eps : {1.0 / 16.0, 1.0 / 8.0}) {
+      Params prm;
+      prm.seed = 17 + n0;
+      prm.mode = RecoveryMode::Amortized;
+      DexNetwork net(n0, prm);
+      support::Rng rng(n0 + 3);
+
+      double msgs_ratio_acc = 0, rounds_ratio_acc = 0;
+      std::uint64_t epochs = 0, type2 = 0;
+      const int kBatches = 6;
+      for (int b = 0; b < kBatches; ++b) {
+        const auto nodes = net.alive_nodes();
+        const auto sz = static_cast<std::size_t>(
+            eps * static_cast<double>(net.n()));
+        BatchRequest req;
+        if (b % 2 == 0) {
+          for (std::size_t i = 0; i < sz; ++i)
+            req.attach_to.push_back(nodes[rng.below(nodes.size())]);
+        } else {
+          // §5's preconditions: victims keep a surviving neighbor and the
+          // remainder stays connected. Sample pairwise-non-adjacent victims
+          // while ensuring no survivor loses all of its neighbors, then trim
+          // until the remainder is verifiably connected.
+          std::vector<bool> blocked(net.node_capacity(), false);
+          std::vector<std::uint32_t> lost(net.node_capacity(), 0);
+          std::vector<std::uint64_t> ports, vports;
+          auto shuffled = nodes;
+          rng.shuffle(shuffled);
+          for (NodeId v : shuffled) {
+            if (req.deletions.size() >= sz) break;
+            if (blocked[v]) continue;
+            net.ports_of(v, vports);
+            bool ok = true;
+            for (auto w : vports) {
+              const auto wn = static_cast<NodeId>(w);
+              if (wn == v) continue;
+              net.ports_of(wn, ports);
+              std::size_t to_v = 0;
+              for (auto x : ports) {
+                if (static_cast<NodeId>(x) == v) ++to_v;
+              }
+              if (ports.size() - lost[wn] - to_v == 0) {
+                ok = false;  // w would be orphaned
+                break;
+              }
+            }
+            if (!ok) continue;
+            req.deletions.push_back(v);
+            blocked[v] = true;
+            for (auto w : vports) {
+              blocked[w] = true;
+              ++lost[w];
+            }
+          }
+          // Trim until the remainder is connected (rarely needed).
+          auto g = net.snapshot();
+          auto mask = net.alive_mask();
+          for (NodeId v : req.deletions) mask[v] = false;
+          while (!req.deletions.empty() &&
+                 !dex::graph::is_connected(g, mask)) {
+            mask[req.deletions.back()] = true;
+            req.deletions.pop_back();
+          }
+        }
+        const auto res = apply_batch(net, req);
+        const double n = static_cast<double>(net.n());
+        const double lg = std::log2(n);
+        msgs_ratio_acc += static_cast<double>(res.cost.messages) /
+                          (n * lg * lg);
+        rounds_ratio_acc += static_cast<double>(res.cost.rounds) /
+                            (lg * lg * lg);
+        epochs += res.walk_epochs;
+        if (res.used_type2) ++type2;
+        net.check_invariants();
+      }
+      t.add_row({std::to_string(n0), metrics::Table::num(eps, 3),
+                 std::to_string(static_cast<std::size_t>(
+                     eps * static_cast<double>(n0))),
+                 metrics::Table::num(msgs_ratio_acc / kBatches, 3),
+                 metrics::Table::num(rounds_ratio_acc / kBatches, 3),
+                 std::to_string(epochs), std::to_string(type2)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nShape check (Cor. 2): both normalized columns stay bounded (do not\n"
+      "grow down the n sweep) — messages are O(n log^2 n) and rounds are\n"
+      "O(log^3 n) per batch.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E7 — the DHT layered on DEX (§4.4.4): insertion/lookup cost O(log n)
+// messages and rounds across sizes; operations keep working during
+// staggered rebuilds; keys stay balanced across nodes; the rebuild-time
+// re-hash cost amortizes to O(1) per step (the paper staggers it — we
+// report both the burst total and the per-step amortization).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dex/dht.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+using namespace dex;
+
+int main() {
+  std::printf("=== E7: DHT on DEX ===\n\n-- operation cost vs n --\n\n");
+  metrics::Table t({"n", "p", "put msgs (mean)", "get msgs (mean)",
+                    "get msgs (p99)", "log2 p", "mean/log2 p"});
+  for (std::size_t n0 : {128u, 512u, 2048u, 8192u}) {
+    Params prm;
+    prm.seed = 7 + n0;
+    prm.mode = RecoveryMode::WorstCase;
+    DexNetwork net(n0, prm);
+    Dht dht(net);
+    support::Rng rng(n0);
+    std::vector<double> put_costs, get_costs;
+    for (std::uint64_t k = 0; k < 400; ++k) {
+      const auto origin = net.alive_nodes()[rng.below(net.n())];
+      dht.put(k, k * 3, origin);
+      put_costs.push_back(static_cast<double>(dht.last_cost().messages));
+      (void)dht.get(k, origin);
+      get_costs.push_back(static_cast<double>(dht.last_cost().messages));
+    }
+    const auto ps = metrics::summarize(put_costs);
+    const auto gs = metrics::summarize(get_costs);
+    const double lg = std::log2(static_cast<double>(net.p()));
+    t.add_row({std::to_string(n0), std::to_string(net.p()),
+               metrics::Table::num(ps.mean, 1), metrics::Table::num(gs.mean, 1),
+               metrics::Table::num(gs.p99, 0), metrics::Table::num(lg, 1),
+               metrics::Table::num(gs.mean / lg, 2)});
+  }
+  t.print();
+  std::printf(
+      "\nShape check: mean/log2(p) is a constant across the sweep — the\n"
+      "O(log n) routing claim.\n");
+
+  std::printf("\n-- correctness and cost during a staggered inflation --\n\n");
+  {
+    Params prm;
+    prm.seed = 3;
+    prm.mode = RecoveryMode::WorstCase;
+    DexNetwork net(128, prm);
+    Dht dht(net);
+    support::Rng rng(9);
+    for (std::uint64_t k = 0; k < 512; ++k) dht.put(k, k ^ 0x5a5a);
+    std::size_t ops_mid_flight = 0, failures = 0;
+    std::vector<double> mid_costs;
+    for (std::size_t s = 0; s < 4000; ++s) {
+      const auto nodes = net.alive_nodes();
+      net.insert(nodes[rng.below(nodes.size())]);
+      if (net.staggered_active()) {
+        const std::uint64_t k = rng.below(512);
+        const auto v = dht.get(k);
+        if (!v || *v != (k ^ 0x5a5a)) ++failures;
+        mid_costs.push_back(static_cast<double>(dht.last_cost().messages));
+        ++ops_mid_flight;
+      }
+    }
+    const auto mc = metrics::summarize(mid_costs);
+    std::printf(
+        "lookups issued mid-rebuild: %zu, failures: %zu, mean msgs %.1f "
+        "(p99 %.0f)\n",
+        ops_mid_flight, failures, mc.mean, mc.p99);
+    std::printf("rehash events: %llu, total rehash messages: %llu "
+                "(amortized %.2f per churn step)\n",
+                static_cast<unsigned long long>(dht.rehash_count()),
+                static_cast<unsigned long long>(dht.rehash_messages()),
+                static_cast<double>(dht.rehash_messages()) / 4000.0);
+  }
+
+  std::printf("\n-- key load balance (6400 keys, n=64) --\n\n");
+  {
+    Params prm;
+    prm.seed = 4;
+    DexNetwork net(64, prm);
+    Dht dht(net);
+    for (std::uint64_t k = 0; k < 6400; ++k) dht.put(k, k);
+    const auto per = dht.items_per_alive_node();
+    std::vector<double> loads(per.begin(), per.end());
+    const auto s = metrics::summarize(loads);
+    std::printf("items/node: mean %.1f, p50 %.0f, p99 %.0f, max %.0f "
+                "(max/mean = %.2f)\n",
+                s.mean, s.p50, s.p99, s.max, s.max / s.mean);
+    std::printf("\nShape check: zero failures mid-rebuild; max/mean load\n"
+                "bounded by a small constant (the 4*zeta vertex cap).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// E1 — Table 1 of the paper: comparison of distributed expander
+// constructions. The DEX and Law–Siu rows are *measured* on this machine
+// (identical adaptive churn, several network sizes); the flooding baseline
+// row quantifies §3's strawman; the skip-graph and SKIP+ rows reproduce the
+// paper's analytic citations (no OSS artifacts exist to measure — marked).
+//
+// Paper's Table 1 row for DEX:   deterministic expansion, adaptive
+// adversary, O(1) max degree, O(log n) recovery, O(log n) messages,
+// O(1) topology changes. The measured numbers below must show: constant max
+// degree across sizes, per-step rounds/messages growing like log n, and
+// constant topology changes — against Law–Siu's O(d) degree and cheap-but-
+// probabilistic maintenance and flooding's Θ(n) messages.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/spectral.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+using namespace dex;
+
+namespace {
+
+struct Measured {
+  double max_degree = 0;
+  double rounds_p99 = 0;
+  double msgs_p99 = 0;
+  double topo_p99 = 0;
+  double gap_min = 1.0;
+};
+
+template <class Net>
+Measured churn_run(Net& net, std::size_t steps, std::uint64_t seed,
+                   const std::function<sim::StepCost()>& last_cost,
+                   const std::function<std::size_t()>& max_degree) {
+  adversary::RandomChurn strat(0.5);
+  auto view = bench::view_of(net);
+  support::Rng rng(seed);
+  std::vector<double> rounds, msgs, topo;
+  Measured m;
+  const std::size_t base = net.n();
+  for (std::size_t t = 0; t < steps; ++t) {
+    bench::apply(net, strat.next(view, rng, base / 2, base * 2));
+    const auto c = last_cost();
+    rounds.push_back(static_cast<double>(c.rounds));
+    msgs.push_back(static_cast<double>(c.messages));
+    topo.push_back(static_cast<double>(c.topology_changes));
+    if (t % (steps / 8) == 0) {
+      const auto gap =
+          graph::spectral_gap(net.snapshot(), net.alive_mask()).gap;
+      m.gap_min = std::min(m.gap_min, gap);
+    }
+    m.max_degree =
+        std::max(m.max_degree, static_cast<double>(max_degree()));
+  }
+  m.rounds_p99 = metrics::summarize(rounds).p99;
+  m.msgs_p99 = metrics::summarize(msgs).p99;
+  m.topo_p99 = metrics::summarize(topo).p99;
+  return m;
+}
+
+std::size_t dex_max_degree(const DexNetwork& net) {
+  const auto g = net.snapshot();
+  std::size_t best = 0;
+  for (auto u : net.alive_nodes()) best = std::max(best, g.degree(u));
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== E1 / Table 1: comparison of distributed expander constructions "
+      "===\n\nMeasured rows (adaptive 50/50 churn, per-step p99 costs):\n\n");
+
+  metrics::Table t({"algorithm", "n", "expansion", "adversary", "max degree",
+                    "recovery rounds p99", "messages p99", "topo changes p99",
+                    "min gap"});
+
+  for (std::size_t n0 : {256u, 1024u, 4096u}) {
+    const std::size_t steps = 4 * n0;
+    {
+      Params prm;
+      prm.seed = 1000 + n0;
+      prm.mode = RecoveryMode::WorstCase;
+      DexNetwork net(n0, prm);
+      const auto m = churn_run(
+          net, steps, n0, [&] { return net.last_report().cost; },
+          [&] { return dex_max_degree(net); });
+      t.add_row({"DEX (this work)", std::to_string(n0), "deterministic",
+                 "adaptive", metrics::Table::num(m.max_degree, 0),
+                 metrics::Table::num(m.rounds_p99, 0),
+                 metrics::Table::num(m.msgs_p99, 0),
+                 metrics::Table::num(m.topo_p99, 0),
+                 metrics::Table::num(m.gap_min, 3)});
+    }
+    {
+      baselines::LawSiuNetwork net(n0, 3, 2000 + n0);
+      const auto m = churn_run(
+          net, steps, n0 + 1, [&] { return net.last_step(); },
+          [&] { return net.max_degree(); });
+      t.add_row({"Law-Siu [18]", std::to_string(n0), "prob (oblivious)",
+                 "oblivious", metrics::Table::num(m.max_degree, 0),
+                 metrics::Table::num(m.rounds_p99, 0),
+                 metrics::Table::num(m.msgs_p99, 0),
+                 metrics::Table::num(m.topo_p99, 0),
+                 metrics::Table::num(m.gap_min, 3)});
+    }
+    {
+      baselines::FloodRebuildNetwork net(n0);
+      const auto m = churn_run(
+          net, std::min<std::size_t>(steps, 512), n0 + 2,
+          [&] { return net.last_step(); }, [&] { return net.max_degree(); });
+      t.add_row({"Flooding (Sec. 3)", std::to_string(n0), "deterministic",
+                 "adaptive", metrics::Table::num(m.max_degree, 0),
+                 metrics::Table::num(m.rounds_p99, 0),
+                 metrics::Table::num(m.msgs_p99, 0),
+                 metrics::Table::num(m.topo_p99, 0),
+                 metrics::Table::num(m.gap_min, 3)});
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nAnalytic rows (as cited by the paper's Table 1; no open-source\n"
+      "artifact exists to measure — reproduced from the publication):\n\n");
+  metrics::Table a({"algorithm", "expansion", "adversary", "max degree",
+                    "recovery time", "messages", "topology changes"});
+  a.add_row({"Law-Siu [18]", "prob >= 1-1/n0", "oblivious", "O(d)",
+             "O(log_d n)", "O(d log_d n)", "O(d)"});
+  a.add_row({"Skip graphs [2]", "w.h.p.", "adaptive", "O(log n)",
+             "O(log^2 n)", "O(log^2 n)", "O(log n)"});
+  a.add_row({"SKIP+ [15]", "w.h.p.", "adaptive", "O(log n)", "O(log n) whp",
+             "O(log^4 n)", "O(log^4 n) whp"});
+  a.add_row({"DEX (this paper)", "deterministic", "adaptive", "O(1)",
+             "O(log n) whp", "O(log n) whp", "O(1)"});
+  a.print();
+
+  std::printf(
+      "\nShape checks (what reproduction means here):\n"
+      " - DEX max degree is a constant (<= 3*8*zeta = 192; in practice far\n"
+      "   lower) and does NOT grow across the n sweep.\n"
+      " - DEX messages/rounds grow ~log n; flooding messages grow ~n.\n"
+      " - DEX topology changes stay constant per step.\n"
+      " - Every min-gap entry for DEX is bounded away from 0.\n");
+  return 0;
+}

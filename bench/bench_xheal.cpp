@@ -1,0 +1,98 @@
+// Extension bench — Xheal with deterministic DEX patches (the composition
+// the paper's related-work section proposes). Regenerates the Xheal-style
+// measurements: connectivity under sustained adversarial deletions, degree
+// overhead, patch expansion, and healing cost locality, on three base
+// topologies (star-of-stars, random regular, grid-ish path-of-cliques).
+
+#include <cstdio>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/spectral.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+#include "support/prng.h"
+#include "xheal/xheal.h"
+
+using namespace dex;
+
+namespace {
+
+graph::Multigraph make_star_of_stars(std::size_t hubs, std::size_t leaves) {
+  graph::Multigraph g(1 + hubs + hubs * leaves);
+  for (std::size_t h = 0; h < hubs; ++h) {
+    const auto hub = static_cast<graph::NodeId>(1 + h);
+    g.add_edge(0, hub);
+    for (std::size_t l = 0; l < leaves; ++l) {
+      g.add_edge(hub,
+                 static_cast<graph::NodeId>(1 + hubs + h * leaves + l));
+    }
+  }
+  return g;
+}
+
+graph::Multigraph make_clique_chain(std::size_t cliques, std::size_t size) {
+  graph::Multigraph g(cliques * size);
+  for (std::size_t c = 0; c < cliques; ++c) {
+    for (std::size_t i = 0; i < size; ++i) {
+      for (std::size_t j = i + 1; j < size; ++j) {
+        g.add_edge(static_cast<graph::NodeId>(c * size + i),
+                   static_cast<graph::NodeId>(c * size + j));
+      }
+    }
+    if (c > 0) {
+      g.add_edge(static_cast<graph::NodeId>((c - 1) * size),
+                 static_cast<graph::NodeId>(c * size));
+    }
+  }
+  return g;
+}
+
+void run(const char* name, graph::Multigraph base, std::uint64_t seed,
+         metrics::Table& t) {
+  xheal::XhealNetwork net(std::move(base));
+  support::Rng rng(seed);
+  const std::size_t deletions = net.n() / 2;
+  std::vector<double> msgs;
+  bool always_connected = true;
+  for (std::size_t d = 0; d < deletions && net.n() > 4; ++d) {
+    const auto nodes = net.alive_nodes();
+    net.remove(nodes[rng.below(nodes.size())]);
+    msgs.push_back(static_cast<double>(net.last_step().messages));
+    always_connected =
+        always_connected && graph::is_connected(net.graph(), net.alive_mask());
+  }
+  const auto spec = graph::spectral_gap(net.graph(), net.alive_mask());
+  t.add_row({name, std::to_string(deletions),
+             always_connected ? "yes" : "NO",
+             std::to_string(net.max_degree_overhead()),
+             metrics::Table::num(metrics::summarize(msgs).p99, 0),
+             metrics::Table::num(spec.gap, 3)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Extension: Xheal with deterministic p-cycle patches ===\n\n"
+      "Half the nodes of each base topology are deleted adversarially\n"
+      "(uniformly at random, including hubs); Xheal patches every orphaned\n"
+      "neighborhood with a contracted p-cycle expander.\n\n");
+  metrics::Table t({"base topology", "deletions", "connected throughout",
+                    "max degree overhead", "heal msgs p99", "final gap"});
+  run("star-of-stars (1+12+144)", make_star_of_stars(12, 12), 1, t);
+  {
+    support::Rng gen(2);
+    run("random 4-regular (n=160)", graph::make_random_regular(160, 4, gen),
+        3, t);
+  }
+  run("clique chain (16 x 10)", make_clique_chain(16, 10), 4, t);
+  t.print();
+  std::printf(
+      "\nShape check: connectivity never breaks, degree overhead stays a\n"
+      "small constant, healing cost is local (tens of messages), and —\n"
+      "unlike the original randomized Xheal — the patch expansion is\n"
+      "deterministic (final gap bounded away from 0 even for the star,\n"
+      "whose healed core is exactly a contracted p-cycle).\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Scripted simulator CLI — drive a DexNetwork from a churn script (stdin or
+// file), for reproducing traces, debugging adversarial sequences, and
+// piping experiments from other tooling.
+//
+// Commands (one per line, '#' comments):
+//   INIT <n0> [seed] [worstcase|amortized]   (re)create the network
+//   INSERT <attach_id>                       insert a node
+//   DELETE <id>                              delete a node
+//   CHURN <steps> <insert_prob>              random churn burst
+//   KILL_COORDINATOR                         delete the coordinator
+//   PUT <key> <value>       GET <key>        DHT operations
+//   STATS                                    n/p/gap/degree/cost summary
+//   AUDIT                                    run check_invariants()
+//   DOT                                      Graphviz of the real network
+//
+//   $ printf 'INIT 32 7\nCHURN 100 0.6\nSTATS\nAUDIT\n' | ./dex_sim_cli
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "dex/dht.h"
+#include "dex/network.h"
+#include "graph/bfs.h"
+#include "graph/spectral.h"
+#include "support/prng.h"
+
+namespace {
+
+struct Session {
+  std::unique_ptr<dex::DexNetwork> net;
+  std::unique_ptr<dex::Dht> dht;
+  std::unique_ptr<dex::support::Rng> rng;
+};
+
+void cmd_stats(Session& s) {
+  auto& net = *s.net;
+  const auto g = net.snapshot();
+  const auto mask = net.alive_mask();
+  std::size_t max_deg = 0;
+  for (auto u : net.alive_nodes()) max_deg = std::max(max_deg, g.degree(u));
+  const auto spec = dex::graph::spectral_gap(g, mask);
+  std::printf(
+      "n=%zu p=%llu gap=%.4f max_degree=%zu coordinator=%u staggered=%d\n"
+      "totals: rounds=%llu messages=%llu topology_changes=%llu "
+      "inflations=%llu deflations=%llu\n",
+      net.n(), static_cast<unsigned long long>(net.p()), spec.gap, max_deg,
+      net.coordinator(), net.staggered_active() ? 1 : 0,
+      static_cast<unsigned long long>(net.meter().total().rounds),
+      static_cast<unsigned long long>(net.meter().total().messages),
+      static_cast<unsigned long long>(net.meter().total().topology_changes),
+      static_cast<unsigned long long>(net.inflation_count()),
+      static_cast<unsigned long long>(net.deflation_count()));
+}
+
+void cmd_dot(Session& s) {
+  auto& net = *s.net;
+  std::printf("graph dex {\n");
+  std::map<std::pair<dex::NodeId, dex::NodeId>, int> mult;
+  net.cycle().for_each_edge([&](dex::Vertex x, dex::Vertex y) {
+    auto a = net.mapping().owner(x);
+    auto b = net.mapping().owner(y);
+    if (a > b) std::swap(a, b);
+    ++mult[{a, b}];
+  });
+  for (const auto& [e, m] : mult)
+    std::printf("  n%u -- n%u [label=%d];\n", e.first, e.second, m);
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    in = &file;
+  }
+
+  Session s;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(*in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string cmd;
+    if (!(ss >> cmd)) continue;
+
+    if (cmd == "INIT") {
+      std::size_t n0 = 16;
+      std::uint64_t seed = 1;
+      std::string m = "worstcase";
+      ss >> n0 >> seed >> m;
+      dex::Params prm;
+      prm.seed = seed;
+      prm.mode = m == "amortized" ? dex::RecoveryMode::Amortized
+                                  : dex::RecoveryMode::WorstCase;
+      s.net = std::make_unique<dex::DexNetwork>(n0, prm);
+      s.dht = std::make_unique<dex::Dht>(*s.net);
+      s.rng = std::make_unique<dex::support::Rng>(seed ^ 0xc11);
+      std::printf("ok INIT n=%zu p=%llu\n", s.net->n(),
+                  static_cast<unsigned long long>(s.net->p()));
+      continue;
+    }
+    if (!s.net) {
+      std::fprintf(stderr, "line %zu: INIT first\n", lineno);
+      return 1;
+    }
+
+    if (cmd == "INSERT") {
+      unsigned a = 0;
+      ss >> a;
+      if (!s.net->alive(a)) {
+        std::fprintf(stderr, "line %zu: node %u not alive\n", lineno, a);
+        return 1;
+      }
+      const auto u = s.net->insert(a);
+      const auto& c = s.net->last_report().cost;
+      std::printf("ok INSERT -> node %u (rounds=%llu msgs=%llu)\n", u,
+                  static_cast<unsigned long long>(c.rounds),
+                  static_cast<unsigned long long>(c.messages));
+    } else if (cmd == "DELETE") {
+      unsigned v = 0;
+      ss >> v;
+      if (!s.net->alive(v) || s.net->n() < 3) {
+        std::fprintf(stderr, "line %zu: cannot delete %u\n", lineno, v);
+        return 1;
+      }
+      s.net->remove(v);
+      const auto& c = s.net->last_report().cost;
+      std::printf("ok DELETE %u (rounds=%llu msgs=%llu)\n", v,
+                  static_cast<unsigned long long>(c.rounds),
+                  static_cast<unsigned long long>(c.messages));
+    } else if (cmd == "CHURN") {
+      std::size_t steps = 0;
+      double prob = 0.5;
+      ss >> steps >> prob;
+      for (std::size_t i = 0; i < steps; ++i) {
+        const auto nodes = s.net->alive_nodes();
+        if (s.rng->chance(prob) || s.net->n() < 4) {
+          s.net->insert(nodes[s.rng->below(nodes.size())]);
+        } else {
+          s.net->remove(nodes[s.rng->below(nodes.size())]);
+        }
+      }
+      std::printf("ok CHURN %zu steps -> n=%zu\n", steps, s.net->n());
+    } else if (cmd == "KILL_COORDINATOR") {
+      const auto c = s.net->coordinator();
+      s.net->remove(c);
+      std::printf("ok KILL_COORDINATOR %u -> new coordinator %u\n", c,
+                  s.net->coordinator());
+    } else if (cmd == "PUT") {
+      std::uint64_t k = 0, v = 0;
+      ss >> k >> v;
+      s.dht->put(k, v);
+      std::printf("ok PUT %llu (msgs=%llu)\n",
+                  static_cast<unsigned long long>(k),
+                  static_cast<unsigned long long>(s.dht->last_cost().messages));
+    } else if (cmd == "GET") {
+      std::uint64_t k = 0;
+      ss >> k;
+      const auto v = s.dht->get(k);
+      if (v) {
+        std::printf("ok GET %llu = %llu (msgs=%llu)\n",
+                    static_cast<unsigned long long>(k),
+                    static_cast<unsigned long long>(*v),
+                    static_cast<unsigned long long>(
+                        s.dht->last_cost().messages));
+      } else {
+        std::printf("ok GET %llu = <absent>\n",
+                    static_cast<unsigned long long>(k));
+      }
+    } else if (cmd == "STATS") {
+      cmd_stats(s);
+    } else if (cmd == "AUDIT") {
+      s.net->check_invariants();
+      std::printf("ok AUDIT (all invariants hold)\n");
+    } else if (cmd == "DOT") {
+      cmd_dot(s);
+    } else {
+      std::fprintf(stderr, "line %zu: unknown command '%s'\n", lineno,
+                   cmd.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// A replication-free key-value store on the DEX DHT (§4.4.4): keys survive
+// arbitrary churn because responsibility is tied to virtual vertices, which
+// the self-healing layer re-homes on every membership change.
+//
+// Stores a corpus, churns 30% of the network (including killing the
+// coordinator a few times and crossing a type-2 rebuild), then audits every
+// key.
+//
+//   $ ./dht_store [keys=2000] [seed=3]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dex/dht.h"
+#include "dex/network.h"
+#include "metrics/stats.h"
+#include "support/prng.h"
+
+int main(int argc, char** argv) {
+  const std::size_t keys = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
+                                    : 2000;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  dex::Params prm;
+  prm.seed = seed;
+  prm.mode = dex::RecoveryMode::WorstCase;
+  dex::DexNetwork net(128, prm);
+  dex::Dht dht(net);
+  dex::support::Rng rng(seed ^ 0xd417);
+
+  std::printf("storing %zu keys on a %zu-node overlay...\n", keys, net.n());
+  std::vector<double> put_costs;
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    dht.put(k, dex::support::mix64(k));
+    put_costs.push_back(static_cast<double>(dht.last_cost().messages));
+  }
+  std::printf("  put cost: mean %.1f msgs, p99 %.0f\n",
+              dex::metrics::summarize(put_costs).mean,
+              dex::metrics::summarize(put_costs).p99);
+
+  std::printf("churning (grow to 600, kill coordinator x5, shrink to 90)...\n");
+  while (net.n() < 600) {
+    const auto nodes = net.alive_nodes();
+    net.insert(nodes[rng.below(nodes.size())]);
+  }
+  for (int i = 0; i < 5; ++i) {
+    net.remove(net.coordinator());
+  }
+  while (net.n() > 90) {
+    const auto nodes = net.alive_nodes();
+    net.remove(nodes[rng.below(nodes.size())]);
+  }
+  net.check_invariants();
+  std::printf("  network now n=%zu, p=%llu, rebuilds: %llu inflations, "
+              "%llu deflations\n",
+              net.n(), static_cast<unsigned long long>(net.p()),
+              static_cast<unsigned long long>(net.inflation_count()),
+              static_cast<unsigned long long>(net.deflation_count()));
+
+  std::printf("auditing all %zu keys...\n", keys);
+  std::size_t lost = 0, wrong = 0;
+  std::vector<double> get_costs;
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    const auto v = dht.get(k);
+    if (!v) {
+      ++lost;
+    } else if (*v != dex::support::mix64(k)) {
+      ++wrong;
+    }
+    get_costs.push_back(static_cast<double>(dht.last_cost().messages));
+  }
+  std::printf("  lost: %zu, corrupted: %zu (both must be 0)\n", lost, wrong);
+  std::printf("  get cost: mean %.1f msgs, p99 %.0f\n",
+              dex::metrics::summarize(get_costs).mean,
+              dex::metrics::summarize(get_costs).p99);
+  std::printf("  rehash transfers across rebuilds: %llu msgs over %llu "
+              "rebuild(s)\n",
+              static_cast<unsigned long long>(dht.rehash_messages()),
+              static_cast<unsigned long long>(dht.rehash_count()));
+  return lost + wrong == 0 ? 0 : 1;
+}

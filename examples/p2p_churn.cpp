@@ -1,0 +1,77 @@
+// P2P overlay under heavy, bursty churn — the workload that motivates the
+// paper's introduction: peers join in flash crowds and leave in waves, and
+// the overlay must keep (a) constant node degree (cheap links), (b) constant
+// expansion (fast broadcast, robust routing), and (c) O(log n) maintenance
+// per event.
+//
+// Simulates a day of "flash crowd / mass exodus" cycles and prints overlay
+// health after each phase.
+//
+//   $ ./p2p_churn [phases=6] [seed=42]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dex/network.h"
+#include "graph/bfs.h"
+#include "graph/spectral.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+#include "support/prng.h"
+
+int main(int argc, char** argv) {
+  const std::size_t phases =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  dex::Params prm;
+  prm.seed = seed;
+  prm.mode = dex::RecoveryMode::WorstCase;
+  dex::DexNetwork net(64, prm);
+  dex::support::Rng rng(seed * 31 + 7);
+
+  dex::metrics::Table t({"phase", "event", "n", "p", "diameter", "gap",
+                        "max degree", "msgs/step (p99)", "rebuilds"});
+
+  std::uint64_t rebuilds_seen = 0;
+  for (std::size_t phase = 0; phase < phases; ++phase) {
+    const bool flash_crowd = phase % 2 == 0;
+    std::vector<double> msgs;
+    // Each phase roughly doubles or halves the population.
+    const std::size_t target = flash_crowd ? net.n() * 2 : net.n() / 2;
+    while (flash_crowd ? net.n() < target
+                       : net.n() > std::max<std::size_t>(target, 16)) {
+      const auto nodes = net.alive_nodes();
+      if (flash_crowd) {
+        net.insert(nodes[rng.below(nodes.size())]);
+      } else {
+        net.remove(nodes[rng.below(nodes.size())]);
+      }
+      msgs.push_back(static_cast<double>(net.last_report().cost.messages));
+      if (net.last_report().type2_event) ++rebuilds_seen;
+    }
+    net.check_invariants();
+
+    const auto g = net.snapshot();
+    const auto mask = net.alive_mask();
+    std::size_t max_deg = 0;
+    for (auto u : net.alive_nodes()) max_deg = std::max(max_deg, g.degree(u));
+    const auto spec = dex::graph::spectral_gap(g, mask);
+    const auto diam = dex::graph::diameter_estimate(g, mask);
+    t.add_row({std::to_string(phase),
+               flash_crowd ? "flash crowd (x2)" : "mass exodus (/2)",
+               std::to_string(net.n()), std::to_string(net.p()),
+               std::to_string(diam), dex::metrics::Table::num(spec.gap, 3),
+               std::to_string(max_deg),
+               dex::metrics::Table::num(dex::metrics::summarize(msgs).p99, 0),
+               std::to_string(rebuilds_seen)});
+  }
+  t.print();
+  std::printf(
+      "\nOverlay health held through %zu doubling/halving phases:\n"
+      "constant degree, logarithmic diameter, gap bounded away from zero,\n"
+      "and %llu staggered rebuild(s) absorbed without a cost spike.\n",
+      phases, static_cast<unsigned long long>(rebuilds_seen));
+  return 0;
+}

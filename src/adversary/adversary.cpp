@@ -1,0 +1,163 @@
+#include "adversary/adversary.h"
+
+#include <algorithm>
+
+#include "graph/conductance.h"
+#include "support/assert.h"
+
+namespace dex::adversary {
+
+namespace {
+
+bool must_insert(const AdversaryView& view, std::size_t min_n) {
+  return view.n() <= min_n;
+}
+
+bool must_delete(const AdversaryView& view, std::size_t max_n) {
+  return view.n() >= max_n;
+}
+
+}  // namespace
+
+ChurnAction RandomChurn::next(const AdversaryView& view, support::Rng& rng,
+                              std::size_t min_n, std::size_t max_n) {
+  bool ins = rng.chance(p_);
+  if (must_insert(view, min_n)) ins = true;
+  if (must_delete(view, max_n)) ins = false;
+  return {ins, random_alive(view, rng)};
+}
+
+ChurnAction InsertOnly::next(const AdversaryView& view, support::Rng& rng,
+                             std::size_t /*min_n*/, std::size_t /*max_n*/) {
+  return {true, random_alive(view, rng)};
+}
+
+ChurnAction DeleteOnly::next(const AdversaryView& view, support::Rng& rng,
+                             std::size_t min_n, std::size_t /*max_n*/) {
+  if (must_insert(view, min_n)) return {true, random_alive(view, rng)};
+  return {false, random_alive(view, rng)};
+}
+
+ChurnAction Oscillate::next(const AdversaryView& view, support::Rng& rng,
+                            std::size_t min_n, std::size_t max_n) {
+  const bool insert_phase = (tick_++ / k_) % 2 == 0;
+  bool ins = insert_phase;
+  if (must_insert(view, min_n)) ins = true;
+  if (must_delete(view, max_n)) ins = false;
+  return {ins, random_alive(view, rng)};
+}
+
+ChurnAction CoordinatorKiller::next(const AdversaryView& view,
+                                    support::Rng& rng, std::size_t min_n,
+                                    std::size_t max_n) {
+  insert_next_ = !insert_next_;
+  const bool ins = must_insert(view, min_n) ||
+                   (insert_next_ && !must_delete(view, max_n));
+  if (ins) return {true, random_alive(view, rng)};
+  const NodeId c = view.special_node();
+  if (c != graph::kInvalidNode) return {false, c};
+  return {false, random_alive(view, rng)};
+}
+
+ChurnAction LoadAttack::next(const AdversaryView& view, support::Rng& rng,
+                             std::size_t min_n, std::size_t max_n) {
+  // Find the max-load node (the adversary has full knowledge).
+  NodeId heaviest = graph::kInvalidNode;
+  std::size_t best = 0;
+  for (NodeId u : view.alive_nodes()) {
+    const std::size_t l = view.load(u);
+    if (heaviest == graph::kInvalidNode || l > best) {
+      heaviest = u;
+      best = l;
+    }
+  }
+  insert_next_ = !insert_next_;
+  bool ins = insert_next_;
+  if (must_insert(view, min_n)) ins = true;
+  if (must_delete(view, max_n)) ins = false;
+  if (ins) return {true, heaviest};  // pile newcomers onto the heaviest node
+  (void)rng;
+  return {false, heaviest};  // or knock it out
+}
+
+ChurnAction SpectralAttack::next(const AdversaryView& view,
+                                 support::Rng& rng, std::size_t min_n,
+                                 std::size_t max_n) {
+  if (must_insert(view, min_n) || kill_queue_.empty()) {
+    // Refill the kill queue periodically: nodes of the sparse side that
+    // touch the cut, sparsest-incident first.
+    if (tick_++ % period_ == 0 || kill_queue_.empty()) {
+      const auto g = view.snapshot();
+      const auto mask = view.alive_mask();
+      const auto cut = graph::sweep_cut(g, mask);
+      kill_queue_.clear();
+      for (NodeId u : cut.side) kill_queue_.push_back(u);
+      if (!cut.side.empty()) anchor_ = cut.side.front();
+    }
+    if (must_insert(view, min_n) || view.n() < max_n / 2) {
+      // Grow the anchored side to keep the cut starved.
+      NodeId at = anchor_;
+      if (at == graph::kInvalidNode || !view.alive_mask()[at])
+        at = random_alive(view, rng);
+      return {true, at};
+    }
+  }
+  while (!kill_queue_.empty()) {
+    const NodeId v = kill_queue_.front();
+    kill_queue_.pop_front();
+    if (v < view.alive_mask().size() && view.alive_mask()[v] &&
+        view.n() > min_n) {
+      return {false, v};
+    }
+  }
+  return {false, random_alive(view, rng)};
+}
+
+ChurnAction GreedySpectralDeletion::next(const AdversaryView& view,
+                                         support::Rng& rng,
+                                         std::size_t min_n,
+                                         std::size_t max_n) {
+  if (must_insert(view, min_n) ||
+      (rng.chance(insert_ratio_) && !must_delete(view, max_n))) {
+    return {true, random_alive(view, rng)};
+  }
+  const auto nodes = view.alive_nodes();
+  NodeId best = nodes[rng.below(nodes.size())];
+  double best_gap = 2.0;
+  for (std::size_t c = 0; c < candidates_; ++c) {
+    const NodeId v = nodes[rng.below(nodes.size())];
+    graph::Multigraph g;
+    if (view.snapshot_without) {
+      g = view.snapshot_without(v);
+    } else {
+      g = view.snapshot();
+      g.isolate(v);  // no healing oracle: evaluate the raw hole
+    }
+    auto mask = view.alive_mask();
+    mask[v] = false;
+    // Removing v's edges can orphan a neighbor; keep the solver's
+    // no-isolated-nodes precondition.
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      if (mask[u] && g.degree(u) == 0) mask[u] = false;
+    }
+    dex::graph::SpectralOptions opts;
+    opts.max_iterations = 2000;
+    opts.tolerance = 1e-7;
+    const double gap = dex::graph::spectral_gap(g, mask, opts).gap;
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = v;
+    }
+  }
+  return {false, best};
+}
+
+ChurnAction Scripted::next(const AdversaryView& view, support::Rng& rng,
+                           std::size_t /*min_n*/, std::size_t /*max_n*/) {
+  (void)view;
+  (void)rng;
+  DEX_ASSERT_MSG(at_ < script_.size(), "scripted adversary exhausted");
+  return script_[at_++];
+}
+
+}  // namespace dex::adversary

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file adversary.h
+/// Adaptive adversaries (§2 of the paper). The adversary is computationally
+/// unbounded, sees the entire network state (topology, loads, even the
+/// identity of the coordinator) and all *past* random choices; only the
+/// algorithm's future coin flips are hidden. Strategies here receive a full
+/// read-only view and emit one churn action per step.
+///
+/// Network-agnostic: DEX and the baselines adapt to AdversaryView via
+/// make_view() overload-like helpers in the benches.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "support/prng.h"
+
+namespace dex::adversary {
+
+using graph::NodeId;
+
+struct ChurnAction {
+  bool insert = true;
+  /// For insertions: the node to attach to. For deletions: the victim.
+  NodeId target = 0;
+};
+
+/// Read-only window into the network under attack.
+struct AdversaryView {
+  std::function<std::size_t()> n;
+  std::function<std::vector<NodeId>()> alive_nodes;
+  std::function<graph::Multigraph()> snapshot;
+  std::function<std::vector<bool>()> alive_mask;
+  /// Load of a node (virtual vertices for DEX; degree for baselines).
+  std::function<std::size_t(NodeId)> load;
+  /// A distinguished node worth attacking (DEX's coordinator); returns
+  /// graph::kInvalidNode when the network has none.
+  std::function<NodeId()> special_node;
+  /// Optional oracle: the topology that would result from deleting a node
+  /// (including the overlay's deterministic splice-healing, where it has
+  /// one). When absent, strategies fall back to snapshot() with the node
+  /// masked out.
+  std::function<graph::Multigraph(NodeId)> snapshot_without;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  /// Decides the next step. min_n/max_n bound the population the driver
+  /// wants to maintain (strategies must not delete below min_n).
+  virtual ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                           std::size_t min_n, std::size_t max_n) = 0;
+
+ protected:
+  static NodeId random_alive(const AdversaryView& view, support::Rng& rng) {
+    const auto nodes = view.alive_nodes();
+    return nodes[rng.below(nodes.size())];
+  }
+};
+
+/// Uniform churn: insert with probability `insert_prob`, both endpoints
+/// uniform. The baseline workload.
+class RandomChurn final : public Strategy {
+ public:
+  explicit RandomChurn(double insert_prob = 0.5) : p_(insert_prob) {}
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+
+ private:
+  double p_;
+};
+
+/// Pure growth (drives inflations).
+class InsertOnly final : public Strategy {
+ public:
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+};
+
+/// Pure shrinkage (drives deflations).
+class DeleteOnly final : public Strategy {
+ public:
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+};
+
+/// k inserts then k deletes, repeatedly — oscillates across the type-2
+/// thresholds (the paper's worst-case pacing argument, Lemma 8, says this
+/// cannot force frequent rebuilds).
+class Oscillate final : public Strategy {
+ public:
+  explicit Oscillate(std::size_t half_period) : k_(half_period) {}
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+
+ private:
+  std::size_t k_;
+  std::size_t tick_ = 0;
+};
+
+/// Always deletes the distinguished node (DEX's coordinator) — the
+/// "maintaining global knowledge is fragile" attack of §3; DEX survives it
+/// because the coordinator state is O(log n) bits and replicated.
+class CoordinatorKiller final : public Strategy {
+ public:
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+
+ private:
+  bool insert_next_ = false;
+};
+
+/// Deletes the maximum-load node / attaches newcomers to it — tries to
+/// concentrate load and break the balanced mapping.
+class LoadAttack final : public Strategy {
+ public:
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+
+ private:
+  bool insert_next_ = false;
+};
+
+/// The strongest adaptive attack we implement: periodically computes a
+/// (spectral sweep) sparse cut of the *current* topology and deletes the
+/// cut-boundary nodes, interleaving insertions attached to one fixed side
+/// to starve the cut. Collapses probabilistic overlays (E4/E9); DEX's
+/// deterministic re-balancing heals through it.
+class SpectralAttack final : public Strategy {
+ public:
+  explicit SpectralAttack(std::size_t recompute_period = 16)
+      : period_(recompute_period) {}
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+
+ private:
+  std::size_t period_;
+  std::size_t tick_ = 0;
+  std::deque<NodeId> kill_queue_;
+  NodeId anchor_ = graph::kInvalidNode;
+};
+
+/// The unbounded-computation attack of §2 made literal: each deletion step
+/// samples `candidates` victims, evaluates the spectral gap the network
+/// would be left with (via the snapshot_without oracle), and deletes the
+/// most damaging one. Collapses overlays whose expansion is only
+/// probabilistic (Law–Siu loses >80% of its gap; see E4); DEX's randomized
+/// re-balancing denies the adversary a stable target.
+class GreedySpectralDeletion final : public Strategy {
+ public:
+  explicit GreedySpectralDeletion(std::size_t candidates = 24,
+                                  double insert_ratio = 0.0)
+      : candidates_(candidates), insert_ratio_(insert_ratio) {}
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+
+ private:
+  std::size_t candidates_;
+  double insert_ratio_;
+};
+
+/// Replays a fixed script (tests).
+class Scripted final : public Strategy {
+ public:
+  explicit Scripted(std::vector<ChurnAction> script)
+      : script_(std::move(script)) {}
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+
+ private:
+  std::vector<ChurnAction> script_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace dex::adversary

@@ -1,0 +1,85 @@
+#include "baselines/flood_rebuild.h"
+
+#include <algorithm>
+
+#include "dex/pcycle.h"
+#include "support/assert.h"
+#include "support/mathutil.h"
+
+namespace dex::baselines {
+
+FloodRebuildNetwork::FloodRebuildNetwork(std::size_t n0) {
+  DEX_ASSERT(n0 >= 2);
+  alive_.assign(n0, true);
+  n_alive_ = n0;
+  rebuild();
+  meter_.reset();
+}
+
+std::vector<NodeId> FloodRebuildNetwork::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(n_alive_);
+  for (NodeId u = 0; u < alive_.size(); ++u) {
+    if (alive_[u]) out.push_back(u);
+  }
+  return out;
+}
+
+void FloodRebuildNetwork::rebuild() {
+  // Global recompute: p tracks (4n, 8n); every vertex is re-dealt
+  // round-robin, so nearly every edge moves.
+  const std::uint64_t old_p = p_;
+  p_ = support::inflation_prime(static_cast<std::uint64_t>(n_alive_));
+  const auto nodes = alive_nodes();
+  std::vector<NodeId> fresh(p_);
+  for (Vertex z = 0; z < p_; ++z) fresh[z] = nodes[z % nodes.size()];
+  std::uint64_t changed = 0;
+  if (p_ == old_p) {
+    for (Vertex z = 0; z < p_; ++z) {
+      if (owner_[z] != fresh[z]) changed += 6;
+    }
+  } else {
+    changed = (3 * (p_ + old_p)) / 2;
+  }
+  owner_ = std::move(fresh);
+  // Flood of the membership change: 2 messages per edge, 2·diam rounds
+  // (diam of an expander contraction: O(log n)).
+  meter_.add_messages(3 * p_);
+  meter_.add_rounds(2 * support::scaled_log(2.0, n_alive_));
+  meter_.add_topology(changed);
+}
+
+NodeId FloodRebuildNetwork::insert() {
+  meter_.end_step();
+  const NodeId u = static_cast<NodeId>(alive_.size());
+  alive_.push_back(true);
+  ++n_alive_;
+  rebuild();
+  last_ = meter_.end_step();
+  return u;
+}
+
+void FloodRebuildNetwork::remove(NodeId victim) {
+  meter_.end_step();
+  DEX_ASSERT(alive(victim) && n_alive_ >= 3);
+  alive_[victim] = false;
+  --n_alive_;
+  rebuild();
+  last_ = meter_.end_step();
+}
+
+std::size_t FloodRebuildNetwork::max_degree() const {
+  std::vector<std::size_t> load(alive_.size(), 0);
+  for (Vertex z = 0; z < p_; ++z) ++load[owner_[z]];
+  return 3 * *std::max_element(load.begin(), load.end());
+}
+
+graph::Multigraph FloodRebuildNetwork::snapshot() const {
+  graph::Multigraph g(alive_.size());
+  const PCycle cyc(p_);
+  cyc.for_each_edge(
+      [&](Vertex x, Vertex y) { g.add_edge(owner_[x], owner_[y]); });
+  return g;
+}
+
+}  // namespace dex::baselines

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file flood_rebuild.h
+/// The naive flooding baseline of §3: on every insertion/deletion a neighbor
+/// floods the change through the network, every node learns the full
+/// membership, and the expander (here: the same p-cycle contraction DEX
+/// uses, with a freshly balanced round-robin mapping) is recomputed from
+/// global knowledge. Guarantees are as strong as DEX's, but every step costs
+/// Θ(n) messages and Θ(n) topology changes — the row our Table 1 bench
+/// contrasts DEX against.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "sim/meters.h"
+
+namespace dex::baselines {
+
+using graph::NodeId;
+
+class FloodRebuildNetwork {
+ public:
+  explicit FloodRebuildNetwork(std::size_t n0);
+
+  NodeId insert();
+  void remove(NodeId victim);
+
+  [[nodiscard]] std::size_t n() const { return n_alive_; }
+  [[nodiscard]] bool alive(NodeId u) const {
+    return u < alive_.size() && alive_[u];
+  }
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const;
+  [[nodiscard]] std::vector<bool> alive_mask() const { return alive_; }
+  [[nodiscard]] std::size_t max_degree() const;
+
+  [[nodiscard]] graph::Multigraph snapshot() const;
+  [[nodiscard]] const sim::CostMeter& meter() const { return meter_; }
+  [[nodiscard]] sim::StepCost last_step() const { return last_; }
+  [[nodiscard]] std::uint64_t p() const { return p_; }
+
+ private:
+  void rebuild();
+
+  sim::CostMeter meter_;
+  sim::StepCost last_;
+  std::vector<bool> alive_;
+  std::size_t n_alive_ = 0;
+  std::uint64_t p_ = 0;
+  /// Round-robin owner of each virtual vertex, recomputed every step.
+  std::vector<NodeId> owner_;
+};
+
+}  // namespace dex::baselines

@@ -1,0 +1,124 @@
+#include "baselines/law_siu.h"
+
+#include <numeric>
+
+#include "support/assert.h"
+#include "support/mathutil.h"
+
+namespace dex::baselines {
+
+LawSiuNetwork::LawSiuNetwork(std::size_t n0, std::size_t d,
+                             std::uint64_t seed)
+    : cycles_(d), rng_(seed) {
+  DEX_ASSERT(n0 >= 3 && d >= 1);
+  alive_.assign(n0, true);
+  n_alive_ = n0;
+  succ_.assign(d, std::vector<NodeId>(n0, 0));
+  pred_.assign(d, std::vector<NodeId>(n0, 0));
+  std::vector<NodeId> order(n0);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t c = 0; c < d; ++c) {
+    rng_.shuffle(order);
+    for (std::size_t i = 0; i < n0; ++i) {
+      const NodeId a = order[i];
+      const NodeId b = order[(i + 1) % n0];
+      succ_[c][a] = b;
+      pred_[c][b] = a;
+    }
+  }
+}
+
+std::vector<NodeId> LawSiuNetwork::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(n_alive_);
+  for (NodeId u = 0; u < alive_.size(); ++u) {
+    if (alive_[u]) out.push_back(u);
+  }
+  return out;
+}
+
+NodeId LawSiuNetwork::random_alive() {
+  // A join locates a uniformly random position by a random walk of length
+  // Θ(log n) (the Law–Siu randomness source); we sample uniformly and charge
+  // the walk's cost.
+  const std::uint64_t len =
+      support::scaled_log(3.0, std::max<std::uint64_t>(n_alive_, 2));
+  meter_.add_messages(len);
+  meter_.add_rounds(len);
+  while (true) {
+    const NodeId u = static_cast<NodeId>(rng_.below(alive_.size()));
+    if (alive_[u]) return u;
+  }
+}
+
+void LawSiuNetwork::splice_in(std::size_t c, NodeId u, NodeId after) {
+  const NodeId nxt = succ_[c][after];
+  succ_[c][after] = u;
+  pred_[c][u] = after;
+  succ_[c][u] = nxt;
+  pred_[c][nxt] = u;
+  meter_.add_topology(3);  // remove (after,nxt); add (after,u),(u,nxt)
+  meter_.add_messages(3);
+}
+
+void LawSiuNetwork::splice_out(std::size_t c, NodeId u) {
+  const NodeId prv = pred_[c][u];
+  const NodeId nxt = succ_[c][u];
+  succ_[c][prv] = nxt;
+  pred_[c][nxt] = prv;
+  meter_.add_topology(3);  // remove (prv,u),(u,nxt); add (prv,nxt)
+  meter_.add_messages(3);
+}
+
+NodeId LawSiuNetwork::insert() {
+  meter_.end_step();
+  const NodeId u = static_cast<NodeId>(alive_.size());
+  alive_.push_back(true);
+  ++n_alive_;
+  for (std::size_t c = 0; c < cycles_; ++c) {
+    succ_[c].push_back(u);
+    pred_[c].push_back(u);
+    // Splice after a random *existing* node (never after the newcomer
+    // itself, which would detach it into a self-cycle).
+    NodeId after;
+    do {
+      after = random_alive();
+    } while (after == u);
+    splice_in(c, u, after);
+  }
+  last_ = meter_.end_step();
+  return u;
+}
+
+void LawSiuNetwork::remove(NodeId victim) {
+  meter_.end_step();
+  DEX_ASSERT(alive(victim) && n_alive_ >= 4);
+  for (std::size_t c = 0; c < cycles_; ++c) splice_out(c, victim);
+  meter_.add_messages(2 * cycles_);  // leave notifications
+  meter_.add_rounds(2);
+  alive_[victim] = false;
+  --n_alive_;
+  last_ = meter_.end_step();
+}
+
+graph::Multigraph LawSiuNetwork::snapshot() const {
+  return snapshot_without(graph::kInvalidNode);
+}
+
+graph::Multigraph LawSiuNetwork::snapshot_without(NodeId victim) const {
+  graph::Multigraph g(alive_.size());
+  for (std::size_t c = 0; c < cycles_; ++c) {
+    for (NodeId u = 0; u < alive_.size(); ++u) {
+      if (!alive_[u] || u == victim) continue;
+      NodeId s = succ_[c][u];
+      if (s == victim) s = succ_[c][victim];  // splice past the victim
+      // Each cycle edge once; a 2-cycle (u <-> s with succ(s) == u) would
+      // double-add, so order-guard it.
+      const NodeId s_next = s == victim ? succ_[c][victim] : succ_[c][s];
+      if (u < s || s_next != u) g.add_edge(u, s);
+    }
+  }
+  return g;
+}
+
+}  // namespace dex::baselines

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file law_siu.h
+/// The Law–Siu overlay (reference [18] of the paper): the network is the
+/// union of d random Hamiltonian cycles. Joins splice the newcomer into a
+/// random position of each cycle (randomness obtained by O(log n)-step
+/// random walks); leaves splice the node out by joining its cycle
+/// neighbors. The construction is an expander *with high probability* and
+/// only against an oblivious adversary — Table 1's contrast row. An
+/// adaptive adversary that sees the topology can delete nodes along a
+/// sparse cut and degrade the expansion permanently, which the paper's §1
+/// argues and our bench E4 demonstrates.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "sim/meters.h"
+#include "support/prng.h"
+
+namespace dex::baselines {
+
+using graph::NodeId;
+
+class LawSiuNetwork {
+ public:
+  /// n0 initial nodes arranged in d independent random Hamiltonian cycles.
+  LawSiuNetwork(std::size_t n0, std::size_t d, std::uint64_t seed);
+
+  /// Adds a node; returns its id. Splices into a random position per cycle.
+  NodeId insert();
+
+  /// Removes a node; cycle neighbors reconnect.
+  void remove(NodeId victim);
+
+  [[nodiscard]] std::size_t n() const { return n_alive_; }
+  [[nodiscard]] bool alive(NodeId u) const {
+    return u < alive_.size() && alive_[u];
+  }
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const;
+  [[nodiscard]] std::vector<bool> alive_mask() const { return alive_; }
+  [[nodiscard]] std::size_t degree(NodeId /*u*/) const { return 2 * cycles_; }
+  [[nodiscard]] std::size_t max_degree() const { return 2 * cycles_; }
+
+  [[nodiscard]] graph::Multigraph snapshot() const;
+  /// Topology that *would* result from removing `victim` (cycle neighbors
+  /// spliced together) — the oracle an adaptive adversary (§2: unbounded
+  /// computation, full knowledge) uses to pick greedy spectral deletions.
+  [[nodiscard]] graph::Multigraph snapshot_without(NodeId victim) const;
+  [[nodiscard]] const sim::CostMeter& meter() const { return meter_; }
+  [[nodiscard]] sim::StepCost last_step() const { return last_; }
+
+ private:
+  void splice_in(std::size_t c, NodeId u, NodeId after);
+  void splice_out(std::size_t c, NodeId u);
+  [[nodiscard]] NodeId random_alive();
+
+  std::size_t cycles_;
+  support::Rng rng_;
+  sim::CostMeter meter_;
+  sim::StepCost last_;
+  std::vector<bool> alive_;
+  std::size_t n_alive_ = 0;
+  /// succ_[c][u] / pred_[c][u]: cycle c's successor/predecessor of node u.
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+};
+
+}  // namespace dex::baselines

@@ -1,0 +1,190 @@
+#include "baselines/random_flip.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+#include "support/mathutil.h"
+
+namespace dex::baselines {
+
+namespace {
+
+constexpr graph::NodeId kFree = graph::kInvalidNode;
+
+}  // namespace
+
+RandomFlipNetwork::RandomFlipNetwork(std::size_t n0, std::size_t d,
+                                     std::uint64_t seed,
+                                     std::size_t flips_per_step)
+    : d_(d), flips_per_step_(flips_per_step), rng_(seed) {
+  DEX_ASSERT(d >= 4 && d % 2 == 0 && n0 > d);
+  alive_.assign(n0, true);
+  n_alive_ = n0;
+  incident_.assign(n0, {});
+  // Configuration-model start: d stubs per node, matched randomly; re-draw
+  // self-pairs a few times to keep the start clean (leftovers are fine).
+  std::vector<NodeId> stubs;
+  for (NodeId u = 0; u < n0; ++u) {
+    for (std::size_t k = 0; k < d; ++k) stubs.push_back(u);
+  }
+  rng_.shuffle(stubs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] == stubs[i + 1] && i + 3 < stubs.size()) {
+      std::swap(stubs[i + 1], stubs[i + 2]);
+    }
+    alloc_edge(stubs[i], stubs[i + 1]);
+  }
+}
+
+std::vector<NodeId> RandomFlipNetwork::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(n_alive_);
+  for (NodeId u = 0; u < alive_.size(); ++u) {
+    if (alive_[u]) out.push_back(u);
+  }
+  return out;
+}
+
+std::size_t RandomFlipNetwork::alloc_edge(NodeId a, NodeId b) {
+  std::size_t e;
+  if (!free_slots_.empty()) {
+    e = free_slots_.back();
+    free_slots_.pop_back();
+    edges_[e] = {a, b};
+  } else {
+    e = edges_.size();
+    edges_.push_back({a, b});
+  }
+  incident_[a].push_back(e);
+  incident_[b].push_back(e);
+  return e;
+}
+
+void RandomFlipNetwork::free_edge(std::size_t e) {
+  for (NodeId side : {edges_[e].a, edges_[e].b}) {
+    if (side == kFree) continue;
+    auto& inc = incident_[side];
+    auto it = std::find(inc.begin(), inc.end(), e);
+    if (it != inc.end()) inc.erase(it);
+    // A self-loop has two incidence entries; erase the second too.
+    if (edges_[e].a == edges_[e].b) {
+      auto jt = std::find(inc.begin(), inc.end(), e);
+      if (jt != inc.end()) inc.erase(jt);
+      break;
+    }
+  }
+  edges_[e] = {kFree, kFree};
+  free_slots_.push_back(e);
+}
+
+std::size_t RandomFlipNetwork::random_edge() {
+  // Locating a uniformly random edge costs a Θ(log n) walk.
+  meter_.add_messages(
+      support::scaled_log(2.0, std::max<std::size_t>(n_alive_, 2)));
+  while (true) {
+    const auto e = static_cast<std::size_t>(rng_.below(edges_.size()));
+    if (edges_[e].a != kFree) return e;
+  }
+}
+
+void RandomFlipNetwork::run_flips() {
+  // 2-opt switch: pick edges (a,b), (c,d); rewire to (a,d), (c,b).
+  for (std::size_t i = 0; i < flips_per_step_; ++i) {
+    const std::size_t e1 = random_edge();
+    const std::size_t e2 = random_edge();
+    if (e1 == e2) continue;
+    // Self-loops complicate incidence fixing; skip them.
+    if (edges_[e1].a == edges_[e1].b || edges_[e2].a == edges_[e2].b)
+      continue;
+    auto fix = [&](NodeId u, std::size_t from, std::size_t to) {
+      auto& inc = incident_[u];
+      auto it = std::find(inc.begin(), inc.end(), from);
+      DEX_ASSERT(it != inc.end());
+      *it = to;
+    };
+    fix(edges_[e1].b, e1, e2);
+    fix(edges_[e2].b, e2, e1);
+    std::swap(edges_[e1].b, edges_[e2].b);
+    meter_.add_topology(4);
+    meter_.add_messages(4);
+  }
+  meter_.add_rounds(2);
+}
+
+NodeId RandomFlipNetwork::insert() {
+  meter_.end_step();
+  const NodeId u = static_cast<NodeId>(alive_.size());
+  alive_.push_back(true);
+  ++n_alive_;
+  incident_.emplace_back();
+  // Subdivide d/2 random non-loop edges through u.
+  for (std::size_t k = 0; k < d_ / 2; ++k) {
+    std::size_t e = random_edge();
+    for (int guard = 0; edges_[e].a == edges_[e].b && guard < 32; ++guard)
+      e = random_edge();
+    const NodeId a = edges_[e].a;
+    const NodeId b = edges_[e].b;
+    free_edge(e);
+    alloc_edge(a, u);
+    alloc_edge(u, b);
+    meter_.add_topology(3);
+    meter_.add_messages(3);
+  }
+  run_flips();
+  last_ = meter_.end_step();
+  return u;
+}
+
+void RandomFlipNetwork::remove(NodeId victim) {
+  meter_.end_step();
+  DEX_ASSERT(alive(victim) && n_alive_ >= d_ + 2);
+  // Collect victim's non-loop neighbor endpoints, free all incident edges,
+  // then pair the orphaned ports up.
+  std::vector<NodeId> others;
+  std::vector<std::size_t> dead_edges = incident_[victim];
+  std::sort(dead_edges.begin(), dead_edges.end());
+  dead_edges.erase(std::unique(dead_edges.begin(), dead_edges.end()),
+                   dead_edges.end());
+  for (std::size_t e : dead_edges) {
+    const auto& ed = edges_[e];
+    if (!(ed.a == victim && ed.b == victim)) {
+      others.push_back(ed.a == victim ? ed.b : ed.a);
+    }
+    free_edge(e);
+    meter_.add_topology(1);
+  }
+  incident_[victim].clear();
+  rng_.shuffle(others);
+  for (std::size_t i = 0; i + 1 < others.size(); i += 2) {
+    alloc_edge(others[i], others[i + 1]);
+    meter_.add_topology(1);
+    meter_.add_messages(2);
+  }
+  alive_[victim] = false;
+  --n_alive_;
+  run_flips();
+  meter_.add_rounds(2);
+  last_ = meter_.end_step();
+}
+
+std::size_t RandomFlipNetwork::max_degree() const {
+  std::size_t best = 0;
+  for (NodeId u = 0; u < alive_.size(); ++u) {
+    if (alive_[u]) best = std::max(best, incident_[u].size());
+  }
+  return best;
+}
+
+graph::Multigraph RandomFlipNetwork::snapshot() const {
+  graph::Multigraph g(alive_.size());
+  for (const auto& e : edges_) {
+    if (e.a == kFree) continue;
+    if (alive_[e.a] && alive_[e.b]) {
+      g.add_edge(e.a, e.b);
+      if (e.a == e.b) g.add_edge(e.a, e.b);  // loop counts 2 here
+    }
+  }
+  return g;
+}
+
+}  // namespace dex::baselines

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file random_flip.h
+/// A flip-chain-maintained almost-d-regular overlay in the spirit of
+/// Cooper–Dyer–Handley (reference [6] of the paper) and of the stochastic
+/// P2P constructions of [23]: joins subdivide d/2 random edges, leaves pair
+/// the orphaned ports, and a trickle of random "flips" (2-opt edge swaps)
+/// keeps the graph close to a uniform random regular graph — a good
+/// expander *in expectation*, with no worst-case guarantee. Second
+/// probabilistic contrast row for the spectral-gap experiment.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "sim/meters.h"
+#include "support/prng.h"
+
+namespace dex::baselines {
+
+using graph::NodeId;
+
+class RandomFlipNetwork {
+ public:
+  /// d must be even and >= 4.
+  RandomFlipNetwork(std::size_t n0, std::size_t d, std::uint64_t seed,
+                    std::size_t flips_per_step = 4);
+
+  NodeId insert();
+  void remove(NodeId victim);
+
+  [[nodiscard]] std::size_t n() const { return n_alive_; }
+  [[nodiscard]] bool alive(NodeId u) const {
+    return u < alive_.size() && alive_[u];
+  }
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const;
+  [[nodiscard]] std::vector<bool> alive_mask() const { return alive_; }
+  [[nodiscard]] std::size_t max_degree() const;
+
+  [[nodiscard]] graph::Multigraph snapshot() const;
+  [[nodiscard]] const sim::CostMeter& meter() const { return meter_; }
+  [[nodiscard]] sim::StepCost last_step() const { return last_; }
+
+ private:
+  struct Edge {
+    NodeId a;
+    NodeId b;
+  };
+  void run_flips();
+  [[nodiscard]] std::size_t random_edge();
+  std::size_t alloc_edge(NodeId a, NodeId b);
+  void free_edge(std::size_t e);
+
+  std::size_t d_;
+  std::size_t flips_per_step_;
+  support::Rng rng_;
+  sim::CostMeter meter_;
+  sim::StepCost last_;
+  std::vector<bool> alive_;
+  std::size_t n_alive_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::size_t> free_slots_;  ///< recycled edge indices
+  std::vector<std::vector<std::size_t>> incident_;  ///< node -> edge indices
+};
+
+}  // namespace dex::baselines

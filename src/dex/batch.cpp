@@ -1,0 +1,202 @@
+#include "dex/batch.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/bfs.h"
+#include "sim/token_engine.h"
+#include "support/mathutil.h"
+
+namespace dex {
+
+namespace {
+
+/// Validates the deletion set: victims alive, remainder connected, every
+/// victim has a surviving neighbor.
+void validate_deletions(const DexNetwork& net,
+                        const std::vector<NodeId>& victims) {
+  std::unordered_set<NodeId> dying(victims.begin(), victims.end());
+  DEX_ASSERT_MSG(dying.size() == victims.size(), "duplicate victims");
+  DEX_ASSERT_MSG(dying.size() + 2 <= net.n(), "batch would empty the network");
+  std::vector<std::uint64_t> ports;
+  for (NodeId v : victims) {
+    DEX_ASSERT_MSG(net.alive(v), "victim not alive");
+    net.ports_of(v, ports);
+    bool has_survivor = false;
+    for (std::uint64_t t : ports) {
+      const NodeId c = static_cast<NodeId>(t);
+      if (c != v && !dying.contains(c)) {
+        has_survivor = true;
+        break;
+      }
+    }
+    DEX_ASSERT_MSG(has_survivor, "victim would have no surviving neighbor");
+  }
+  // Remainder connectivity.
+  auto g = net.snapshot();
+  std::vector<bool> alive = net.alive_mask();
+  for (NodeId v : victims) alive[v] = false;
+  DEX_ASSERT_MSG(graph::is_connected(g, alive),
+                 "deletions would disconnect the network");
+}
+
+}  // namespace
+
+BatchResult apply_batch(DexNetwork& net, const BatchRequest& req) {
+  BatchResult res;
+  auto& rng = net.rng();
+  auto& meter = net.meter_mut();
+
+  DEX_ASSERT_MSG(!net.staggered_active(),
+                 "batch steps use the simplified (amortized) rebuilds; run "
+                 "the network in RecoveryMode::Amortized");
+  validate_deletions(net, req.deletions);
+  std::unordered_set<NodeId> dying(req.deletions.begin(),
+                                   req.deletions.end());
+  for (NodeId a : req.attach_to)
+    DEX_ASSERT_MSG(net.alive(a) && !dying.contains(a),
+                   "attach target must survive the batch");
+
+  const std::uint64_t walk_len = std::max<std::uint64_t>(
+      2, support::scaled_log(net.params().walk_factor,
+                             std::max<std::uint64_t>(net.n(), 2)));
+  const std::uint64_t round_limit =
+      walk_len * std::max<std::uint64_t>(
+                     4, support::floor_log2(std::max<std::uint64_t>(
+                            net.n(), 4)));
+
+  sim::PortsFn ports_fn = [&net](std::uint64_t loc,
+                                 std::vector<std::uint64_t>& out) {
+    net.ports_of(static_cast<NodeId>(loc), out);
+  };
+
+  // --- deletions: absorb, then redistribute all orphaned vertices with
+  // parallel walks. Absorbers may themselves die later in the batch (their
+  // vertices cascade to their own absorbers), so walks start at each
+  // vertex's *current* owner, looked up per epoch. ---
+  std::vector<Vertex> orphans;
+  for (NodeId v : req.deletions) {
+    NodeId absorber = kInvalidNode;
+    std::vector<Vertex> absorbed;
+    net.absorb_and_mark_dead(v, absorber, absorbed);
+    for (Vertex z : absorbed) orphans.push_back(z);
+  }
+
+  // Deflate if Low collapsed below θn (Fact 2(b) at batch scale).
+  {
+    const auto thr = static_cast<std::uint64_t>(
+        net.params().theta * static_cast<double>(net.n()));
+    if (!req.deletions.empty() &&
+        net.mapping().low_count() < std::max<std::uint64_t>(thr, 1) &&
+        net.p() >= 60) {
+      net.force_simplified_deflate();
+      res.used_type2 = true;
+      orphans.clear();  // the rebuild re-homed every vertex
+    }
+  }
+
+  for (std::uint64_t epoch = 0; !orphans.empty() && epoch < 200; ++epoch) {
+    ++res.walk_epochs;
+    // Walk epochs can drain Low below the threshold mid-batch; re-check the
+    // deflation condition each round (Fact 2(b) at batch scale).
+    {
+      const auto thr = static_cast<std::uint64_t>(
+          net.params().theta * static_cast<double>(net.n()));
+      if (net.mapping().low_count() < std::max<std::uint64_t>(thr, 1) &&
+          net.p() >= 60 && net.p() > 8 * net.n()) {
+        net.force_simplified_deflate();
+        res.used_type2 = true;
+        orphans.clear();  // the rebuild re-homed every vertex
+        break;
+      }
+    }
+    // After a few stalled epochs, widen the target set from Low (≤2ζ) to
+    // anything under the 4ζ cap — preserves the balance invariant and
+    // guarantees progress when Low is scarce but no deflation is legal.
+    const bool relaxed = epoch >= 8;
+    std::vector<sim::Token> tokens;
+    for (std::size_t i = 0; i < orphans.size(); ++i) {
+      sim::Token t;
+      t.location = net.mapping().owner(orphans[i]);
+      t.steps_remaining = walk_len;
+      t.tag = static_cast<std::uint32_t>(i);
+      tokens.push_back(t);
+    }
+    auto walk = sim::run_walks(std::move(tokens), ports_fn, rng, round_limit);
+    meter.add_rounds(walk.rounds);
+    meter.add_messages(walk.messages);
+    std::vector<Vertex> remaining;
+    for (const auto& t : walk.tokens) {
+      const Vertex z = orphans[t.tag];
+      const NodeId w = static_cast<NodeId>(t.location);
+      const bool ok =
+          net.redistribution_target_ok(w) ||
+          (relaxed && net.alive(w) &&
+           net.mapping().load(w) < net.params().max_load());
+      if (t.finished && ok) {
+        net.transfer_current_vertex(z, w);
+      } else {
+        remaining.push_back(z);
+      }
+    }
+    orphans.swap(remaining);
+  }
+  DEX_ASSERT_MSG(orphans.empty(), "batch redistribution did not converge");
+
+  // --- insertions: inflate first if Spare cannot cover the batch ---
+  if (!req.attach_to.empty() &&
+      net.mapping().spare_count() < req.attach_to.size()) {
+    net.force_simplified_inflate();
+    res.used_type2 = true;
+  }
+
+  struct Pending {
+    NodeId node;
+    NodeId attach;
+  };
+  std::vector<Pending> pending;
+  for (NodeId a : req.attach_to) {
+    const NodeId u = net.allocate_node();
+    // allocate_node leaves the node dead; activate it.
+    // (Insertion bookkeeping is done through the public hook below.)
+    pending.push_back({u, a});
+  }
+  // Activate newcomers.
+  for (const auto& pnd : pending) net.activate_node(pnd.node);
+
+  for (std::uint64_t epoch = 0; !pending.empty() && epoch < 200; ++epoch) {
+    ++res.walk_epochs;
+    std::vector<sim::Token> tokens;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      sim::Token t;
+      t.location = pending[i].attach;
+      t.steps_remaining = walk_len;
+      t.tag = static_cast<std::uint32_t>(i);
+      tokens.push_back(t);
+    }
+    auto walk = sim::run_walks(std::move(tokens), ports_fn, rng, round_limit);
+    meter.add_rounds(walk.rounds);
+    meter.add_messages(walk.messages);
+    std::vector<Pending> remaining;
+    for (const auto& t : walk.tokens) {
+      const Pending pnd = pending[t.tag];
+      const NodeId w = static_cast<NodeId>(t.location);
+      if (!t.finished || !net.try_assign_spare_vertex(pnd.node, w)) {
+        remaining.push_back(pnd);
+      } else {
+        res.inserted.push_back(pnd.node);
+      }
+    }
+    pending.swap(remaining);
+    if (!pending.empty() && net.mapping().spare_count() < pending.size()) {
+      net.force_simplified_inflate();
+      res.used_type2 = true;
+    }
+  }
+  DEX_ASSERT_MSG(pending.empty(), "batch insertions did not converge");
+
+  res.cost = net.finish_batch_step();
+  return res;
+}
+
+}  // namespace dex

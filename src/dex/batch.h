@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file batch.h
+/// Multiple insertions/deletions per step (§5 of the paper, Corollary 2).
+///
+/// The adversary may insert or delete up to εn nodes in one step, subject to
+/// the paper's conditions: at most O(1) inserted nodes attach to any single
+/// existing node; deletions leave the remainder connected and every deleted
+/// node keeps at least one surviving neighbor. Recovery runs all
+/// redistribution random walks *in parallel* (token engine with CONGEST
+/// congestion) and falls back to simplifiedInfl/simplifiedDefl when the
+/// Spare/Low thresholds cannot be met — O(n log² n) messages and O(log³ n)
+/// rounds per batch (Cor. 2).
+
+#include <cstdint>
+#include <vector>
+
+#include "dex/network.h"
+#include "sim/meters.h"
+
+namespace dex {
+
+struct BatchRequest {
+  /// Number of nodes to insert; attachment points are chosen by the caller
+  /// via `attach_to` (size must equal `insert_count`; entries may repeat up
+  /// to `max_attach_per_node` times).
+  std::vector<NodeId> attach_to;
+  /// Nodes to delete (validated: alive, leave the graph connected).
+  std::vector<NodeId> deletions;
+};
+
+struct BatchResult {
+  std::vector<NodeId> inserted;  ///< ids of the new nodes
+  sim::StepCost cost;
+  bool used_type2 = false;
+  std::uint64_t walk_epochs = 0;
+};
+
+/// Applies one batch step. Aborts (DEX_ASSERT) if the request violates the
+/// model's preconditions.
+BatchResult apply_batch(DexNetwork& net, const BatchRequest& req);
+
+}  // namespace dex

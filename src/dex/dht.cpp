@@ -1,0 +1,117 @@
+#include "dex/dht.h"
+
+#include <algorithm>
+
+#include "support/prng.h"
+
+namespace dex {
+
+NodeId Dht::resolve_origin(NodeId origin) const {
+  if (origin != kInvalidNode && net_.alive(origin)) return origin;
+  return net_.coordinator();
+}
+
+std::uint64_t Dht::route_cost(NodeId origin, Vertex target) const {
+  const auto& sims = net_.mapping().sim(origin);
+  const Vertex src = sims.empty() ? 0 : sims[0];
+  return net_.cycle().distance(src, target);
+}
+
+void Dht::maybe_rehash() {
+  if (epoch_ == net_.cycle_epoch()) return;
+  epoch_ = net_.cycle_epoch();
+  ++rehash_count_;
+  std::unordered_map<Vertex,
+                     std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      fresh;
+  // Each item travels from its old host to its new home; the mean virtual
+  // distance is O(log n). Sample it once per rehash for the charge.
+  std::uint64_t mean_dist = 1;
+  {
+    support::Rng probe(net_.cycle_epoch() * 1000003ULL + 17);
+    std::uint64_t total = 0;
+    const unsigned kSamples = 16;
+    for (unsigned i = 0; i < kSamples; ++i) {
+      total += net_.cycle().distance(probe.below(net_.p()),
+                                     probe.below(net_.p()));
+    }
+    mean_dist = total / kSamples + 1;
+  }
+  for (auto& [old_vertex, items] : store_) {
+    for (auto& kv : items) {
+      fresh[home(kv.first)].push_back(kv);
+      rehash_messages_ += mean_dist;
+    }
+  }
+  store_ = std::move(fresh);
+}
+
+void Dht::put(std::uint64_t key, std::uint64_t value, NodeId origin) {
+  maybe_rehash();
+  last_cost_ = {};
+  origin = resolve_origin(origin);
+  const Vertex z = home(key);
+  const std::uint64_t hops = route_cost(origin, z);
+  last_cost_.rounds = hops;
+  last_cost_.messages = hops;
+  auto& items = store_[z];
+  for (auto& kv : items) {
+    if (kv.first == key) {
+      kv.second = value;
+      return;
+    }
+  }
+  items.emplace_back(key, value);
+  ++item_count_;
+}
+
+std::optional<std::uint64_t> Dht::get(std::uint64_t key, NodeId origin) {
+  maybe_rehash();
+  last_cost_ = {};
+  origin = resolve_origin(origin);
+  const Vertex z = home(key);
+  const std::uint64_t hops = route_cost(origin, z);
+  last_cost_.rounds = 2 * hops;  // request + reply
+  last_cost_.messages = 2 * hops;
+  auto it = store_.find(z);
+  if (it == store_.end()) return std::nullopt;
+  for (const auto& kv : it->second) {
+    if (kv.first == key) return kv.second;
+  }
+  return std::nullopt;
+}
+
+bool Dht::erase(std::uint64_t key, NodeId origin) {
+  maybe_rehash();
+  last_cost_ = {};
+  origin = resolve_origin(origin);
+  const Vertex z = home(key);
+  const std::uint64_t hops = route_cost(origin, z);
+  last_cost_.rounds = hops;
+  last_cost_.messages = hops;
+  auto it = store_.find(z);
+  if (it == store_.end()) return false;
+  auto& items = it->second;
+  for (auto kv = items.begin(); kv != items.end(); ++kv) {
+    if (kv->first == key) {
+      items.erase(kv);
+      --item_count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::size_t> Dht::items_per_alive_node() const {
+  std::vector<std::size_t> per_node(net_.node_capacity(), 0);
+  for (const auto& [z, items] : store_) {
+    per_node[net_.mapping().owner(z)] += items.size();
+  }
+  std::vector<std::size_t> out;
+  for (NodeId u = 0; u < per_node.size(); ++u) {
+    if (net_.alive(u)) out.push_back(per_node[u]);
+  }
+  return out;
+}
+
+}  // namespace dex

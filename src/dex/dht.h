@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file dht.h
+/// Distributed hash table on top of DEX (§4.4.4 of the paper).
+///
+/// Every node knows the current p-cycle size s, hence the common hash
+/// function h_s(k) = mix64(k) mod s mapping keys to virtual vertices. The
+/// node simulating vertex h_s(k) stores the pair; when a vertex migrates,
+/// responsibility migrates with it (our store is keyed by vertex, so this is
+/// implicit). Insertion and lookup route along locally computable shortest
+/// paths in the p-cycle — O(log n) rounds and messages.
+///
+/// When a type-2 rebuild replaces the p-cycle, keys re-hash under h_{s'}.
+/// The paper staggers the hand-over alongside the rebuild; we perform it
+/// lazily at the first operation after the swap and report both the total
+/// transfer cost and its per-step amortization (see EXPERIMENTS.md, E7).
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dex/network.h"
+#include "sim/meters.h"
+
+namespace dex {
+
+class Dht {
+ public:
+  explicit Dht(DexNetwork& net) : net_(net), epoch_(net.cycle_epoch()) {}
+
+  /// Stores (key, value), overwriting a previous binding. `origin` is the
+  /// requesting node (defaults to the coordinator).
+  void put(std::uint64_t key, std::uint64_t value,
+           NodeId origin = kInvalidNode);
+
+  /// Looks `key` up from `origin`; nullopt if absent.
+  [[nodiscard]] std::optional<std::uint64_t> get(std::uint64_t key,
+                                                 NodeId origin = kInvalidNode);
+
+  /// Removes the binding; returns whether it existed.
+  bool erase(std::uint64_t key, NodeId origin = kInvalidNode);
+
+  [[nodiscard]] std::size_t size() const { return item_count_; }
+
+  /// Cost of the most recent operation (routing hops; a lookup pays the
+  /// round trip).
+  [[nodiscard]] const sim::StepCost& last_cost() const { return last_cost_; }
+
+  [[nodiscard]] std::uint64_t rehash_count() const { return rehash_count_; }
+  [[nodiscard]] std::uint64_t rehash_messages() const {
+    return rehash_messages_;
+  }
+
+  /// Items stored per alive node (for the load-balance experiment).
+  [[nodiscard]] std::vector<std::size_t> items_per_alive_node() const;
+
+ private:
+  [[nodiscard]] Vertex home(std::uint64_t key) const {
+    return support::mix64(key) % net_.p();
+  }
+  void maybe_rehash();
+  [[nodiscard]] NodeId resolve_origin(NodeId origin) const;
+  /// Routing cost from origin's first simulated vertex to `target`.
+  std::uint64_t route_cost(NodeId origin, Vertex target) const;
+
+  DexNetwork& net_;
+  std::uint64_t epoch_;
+  std::unordered_map<Vertex, std::vector<std::pair<std::uint64_t,
+                                                   std::uint64_t>>> store_;
+  std::size_t item_count_ = 0;
+  sim::StepCost last_cost_;
+  std::uint64_t rehash_count_ = 0;
+  std::uint64_t rehash_messages_ = 0;
+};
+
+}  // namespace dex

@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file index_maps.h
+/// The vertex correspondences between consecutive p-cycles used by type-2
+/// recovery, as pure (exhaustively testable) integer maps.
+///
+/// Inflation (Eqs. 6–7 of the paper): moving from Z(p) to Z(q), q ∈ (4p,8p),
+/// every old vertex x is replaced by the *cloud* of new vertices
+///   y_j = ⌈αx⌉ + j,  0 ≤ j ≤ c(x),  c(x) = ⌈α(x+1)⌉ − ⌈αx⌉ − 1,
+/// with α = q/p (computed exactly as rationals). Lemma 4(b): this is a
+/// bijection between Z_q and the union of clouds; cloud sizes are ≤ ζ = 8.
+///
+/// Deflation (§4.2.2): moving from Z(p) to Z(q), q ∈ (p/8, p/4), old vertex
+/// x maps onto y = ⌊x/α⌋ with α = p/q; the *dominating* vertex of y is the
+/// smallest x in y's deflation cloud. Lemma 6(b): dominating vertices are in
+/// 1-1 correspondence with Z_q.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.h"
+#include "support/mathutil.h"
+
+namespace dex {
+
+using Vertex = std::uint64_t;
+
+/// Vertex correspondence for an inflation step Z(p_old) -> Z(p_new).
+class InflationMap {
+ public:
+  InflationMap(std::uint64_t p_old, std::uint64_t p_new)
+      : p_old_(p_old), p_new_(p_new) {
+    DEX_ASSERT_MSG(p_new > 4 * p_old && p_new < 8 * p_old,
+                   "inflation prime must lie in (4p, 8p)");
+  }
+
+  [[nodiscard]] std::uint64_t p_old() const { return p_old_; }
+  [[nodiscard]] std::uint64_t p_new() const { return p_new_; }
+
+  /// ⌈α·x⌉ with α = p_new/p_old, exact.
+  [[nodiscard]] Vertex ceil_alpha(Vertex x) const {
+    return support::ceil_div_mul(p_new_, x, p_old_);
+  }
+
+  /// c(x) of Eq. 6: the cloud of x has c(x)+1 vertices.
+  [[nodiscard]] std::uint64_t c(Vertex x) const {
+    return ceil_alpha(x + 1) - ceil_alpha(x) - 1;
+  }
+
+  /// y_j of Eq. 7. Requires j <= c(x). (The mod of Eq. 7 never wraps since
+  /// ⌈α·p_old⌉ = p_new; kept as a plain sum.)
+  [[nodiscard]] Vertex child(Vertex x, std::uint64_t j) const {
+    DEX_ASSERT(j <= c(x));
+    return ceil_alpha(x) + j;
+  }
+
+  /// The cloud of x as an explicit list (size ≤ ζ = 8).
+  [[nodiscard]] std::vector<Vertex> cloud(Vertex x) const {
+    std::vector<Vertex> out;
+    const std::uint64_t cx = c(x);
+    out.reserve(cx + 1);
+    for (std::uint64_t j = 0; j <= cx; ++j) out.push_back(child(x, j));
+    return out;
+  }
+
+  /// Inverse of `child`: the old vertex whose cloud contains y.
+  /// x = ⌊y·p_old/p_new⌋ (see Lemma 4's bijectivity argument).
+  [[nodiscard]] Vertex parent(Vertex y) const {
+    DEX_ASSERT(y < p_new_);
+    return (y * p_old_) / p_new_;
+  }
+
+  /// Maximum cloud size over all x (ζ in the paper; ≤ 8 since α < 8).
+  [[nodiscard]] std::uint64_t zeta() const {
+    return (p_new_ + p_old_ - 1) / p_old_;  // ⌈α⌉ bounds c(x)+1
+  }
+
+ private:
+  std::uint64_t p_old_;
+  std::uint64_t p_new_;
+};
+
+/// Vertex correspondence for a deflation step Z(p_old) -> Z(p_new).
+class DeflationMap {
+ public:
+  DeflationMap(std::uint64_t p_old, std::uint64_t p_new)
+      : p_old_(p_old), p_new_(p_new) {
+    DEX_ASSERT_MSG(8 * p_new > p_old && 4 * p_new < p_old,
+                   "deflation prime must lie in (p/8, p/4)");
+  }
+
+  [[nodiscard]] std::uint64_t p_old() const { return p_old_; }
+  [[nodiscard]] std::uint64_t p_new() const { return p_new_; }
+
+  /// y = ⌊x/α⌋ with α = p_old/p_new, exact.
+  [[nodiscard]] Vertex image(Vertex x) const {
+    DEX_ASSERT(x < p_old_);
+    return (x * p_new_) / p_old_;
+  }
+
+  /// Smallest x with image(x) == y — the vertex that *dominates* y's
+  /// deflation cloud: x = ⌈y·p_old/p_new⌉.
+  [[nodiscard]] Vertex dominating(Vertex y) const {
+    DEX_ASSERT(y < p_new_);
+    return support::ceil_div_mul(p_old_, y, p_new_);
+  }
+
+  [[nodiscard]] bool is_dominating(Vertex x) const {
+    return dominating(image(x)) == x;
+  }
+
+  /// The deflation cloud of y: all old vertices mapping onto y (size ≤ 8).
+  [[nodiscard]] std::vector<Vertex> cloud(Vertex y) const {
+    std::vector<Vertex> out;
+    const Vertex first = dominating(y);
+    for (Vertex x = first; x < p_old_ && image(x) == y; ++x) out.push_back(x);
+    return out;
+  }
+
+ private:
+  std::uint64_t p_old_;
+  std::uint64_t p_new_;
+};
+
+}  // namespace dex

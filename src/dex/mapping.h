@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file mapping.h
+/// The virtual mapping Φ : V(Z_t) → V(G_t) (Definition 2 of the paper) with
+/// the load bookkeeping behind the balanced-mapping invariant
+/// (Definition 3): per-node simulated-vertex lists, loads, and incrementally
+/// maintained |Spare| and |Low| counts
+///   Low_t   = { u : 1 ≤ Load_t(u) ≤ 2ζ }      (Eq. 1)
+///   Spare_t = { u : Load_t(u) ≥ 2 }           (Eq. 2)
+/// Transfers return the number of real-network topology changes they imply
+/// (each virtual vertex has 3 virtual edges; re-homing it re-homes the real
+/// endpoint of each ⇒ ≤ 6 edge add/remove operations).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "support/assert.h"
+
+namespace dex {
+
+using Vertex = std::uint64_t;
+using graph::NodeId;
+using graph::kInvalidNode;
+
+class VirtualMapping {
+ public:
+  VirtualMapping() = default;
+
+  VirtualMapping(std::uint64_t p, std::size_t node_capacity,
+                 std::uint64_t low_threshold)
+      : p_(p),
+        low_threshold_(low_threshold),
+        phi_(p, kInvalidNode),
+        pos_(p, 0),
+        sim_(node_capacity) {}
+
+  [[nodiscard]] std::uint64_t p() const { return p_; }
+  [[nodiscard]] std::size_t node_capacity() const { return sim_.size(); }
+
+  void ensure_node_capacity(std::size_t cap) {
+    if (sim_.size() < cap) sim_.resize(cap);
+  }
+
+  [[nodiscard]] NodeId owner(Vertex z) const {
+    DEX_ASSERT(z < p_);
+    return phi_[z];
+  }
+
+  [[nodiscard]] const std::vector<Vertex>& sim(NodeId u) const {
+    DEX_ASSERT(u < sim_.size());
+    return sim_[u];
+  }
+
+  [[nodiscard]] std::uint32_t load(NodeId u) const {
+    DEX_ASSERT(u < sim_.size());
+    return static_cast<std::uint32_t>(sim_[u].size());
+  }
+
+  [[nodiscard]] bool in_spare(NodeId u) const { return load(u) >= 2; }
+  [[nodiscard]] bool in_low(NodeId u) const {
+    const auto l = load(u);
+    return l >= 1 && l <= low_threshold_;
+  }
+
+  [[nodiscard]] std::uint64_t spare_count() const { return spare_count_; }
+  [[nodiscard]] std::uint64_t low_count() const { return low_count_; }
+  [[nodiscard]] std::uint64_t low_threshold() const { return low_threshold_; }
+
+  /// First-time assignment of an unowned vertex (bulk construction and
+  /// type-2 rebuilds). No topology cost is charged here — the caller meters
+  /// rebuild costs wholesale.
+  void assign(Vertex z, NodeId u) {
+    DEX_ASSERT(z < p_ && u < sim_.size());
+    DEX_ASSERT_MSG(phi_[z] == kInvalidNode, "vertex already owned");
+    on_load_change(u, load(u), load(u) + 1);
+    phi_[z] = u;
+    pos_[z] = static_cast<std::uint32_t>(sim_[u].size());
+    sim_[u].push_back(z);
+  }
+
+  /// Moves vertex z to node `to`; returns the implied number of real-edge
+  /// changes (0 for a self-transfer, else 6: three virtual edges, each
+  /// re-homed = one removal + one addition).
+  std::uint64_t transfer(Vertex z, NodeId to) {
+    DEX_ASSERT(z < p_ && to < sim_.size());
+    const NodeId from = phi_[z];
+    DEX_ASSERT(from != kInvalidNode);
+    if (from == to) return 0;
+    // Detach from `from` (swap-pop, patch the moved vertex's position).
+    auto& fs = sim_[from];
+    const std::uint32_t at = pos_[z];
+    DEX_ASSERT(fs[at] == z);
+    fs[at] = fs.back();
+    pos_[fs[at]] = at;
+    fs.pop_back();
+    on_load_change(from, static_cast<std::uint32_t>(fs.size() + 1),
+                   static_cast<std::uint32_t>(fs.size()));
+    // Attach to `to`.
+    on_load_change(to, load(to), load(to) + 1);
+    phi_[z] = to;
+    pos_[z] = static_cast<std::uint32_t>(sim_[to].size());
+    sim_[to].push_back(z);
+    return 6;
+  }
+
+  /// Full audit (heavy): Φ total + surjective onto nodes with load > 0,
+  /// position index coherent, counters exact.
+  [[nodiscard]] bool audit() const {
+    std::uint64_t spare = 0, low = 0;
+    for (NodeId u = 0; u < sim_.size(); ++u) {
+      const auto l = load(u);
+      if (l >= 2) ++spare;
+      if (l >= 1 && l <= low_threshold_) ++low;
+      for (std::uint32_t i = 0; i < sim_[u].size(); ++i) {
+        const Vertex z = sim_[u][i];
+        if (z >= p_ || phi_[z] != u || pos_[z] != i) return false;
+      }
+    }
+    for (Vertex z = 0; z < p_; ++z) {
+      if (phi_[z] == kInvalidNode || phi_[z] >= sim_.size()) return false;
+    }
+    return spare == spare_count_ && low == low_count_;
+  }
+
+ private:
+  void on_load_change(NodeId u, std::uint32_t before, std::uint32_t after) {
+    (void)u;
+    const bool was_spare = before >= 2;
+    const bool is_spare = after >= 2;
+    spare_count_ += static_cast<std::uint64_t>(is_spare) -
+                    static_cast<std::uint64_t>(was_spare);
+    const bool was_low = before >= 1 && before <= low_threshold_;
+    const bool is_low = after >= 1 && after <= low_threshold_;
+    low_count_ += static_cast<std::uint64_t>(is_low) -
+                  static_cast<std::uint64_t>(was_low);
+  }
+
+  std::uint64_t p_ = 0;
+  std::uint64_t low_threshold_ = 16;
+  std::vector<NodeId> phi_;          ///< vertex -> owning node
+  std::vector<std::uint32_t> pos_;   ///< vertex -> index in owner's sim list
+  std::vector<std::vector<Vertex>> sim_;
+  std::uint64_t spare_count_ = 0;
+  std::uint64_t low_count_ = 0;
+};
+
+}  // namespace dex

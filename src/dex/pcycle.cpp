@@ -1,0 +1,136 @@
+#include "dex/pcycle.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dex {
+
+PCycle::PCycle(std::uint64_t p) : p_(p) {
+  DEX_ASSERT_MSG(support::is_prime(p), "p-cycle size must be prime");
+  DEX_ASSERT_MSG(p >= 5, "p-cycle needs p >= 5");
+}
+
+std::uint32_t PCycle::distance(Vertex x, Vertex y) const {
+  if (x == y) return 0;
+  // Bidirectional BFS with hash-map distance tables (p can be large, the
+  // explored region is ~O(sqrt p) on an expander).
+  std::unordered_map<Vertex, std::uint32_t> dist_x{{x, 0}}, dist_y{{y, 0}};
+  std::vector<Vertex> frontier_x{x}, frontier_y{y};
+  std::uint32_t depth_x = 0, depth_y = 0;
+
+  auto expand = [&](std::vector<Vertex>& frontier,
+                    std::unordered_map<Vertex, std::uint32_t>& mine,
+                    const std::unordered_map<Vertex, std::uint32_t>& other,
+                    std::uint32_t& depth) -> std::int64_t {
+    std::vector<Vertex> next;
+    ++depth;
+    for (Vertex v : frontier) {
+      for (Vertex w : ports(v)) {
+        if (mine.contains(w)) continue;
+        mine.emplace(w, depth);
+        auto it = other.find(w);
+        if (it != other.end())
+          return static_cast<std::int64_t>(depth + it->second);
+        next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+    return -1;
+  };
+
+  // Expand the smaller frontier each turn. The graph is connected, so the
+  // loop terminates.
+  while (true) {
+    DEX_ASSERT_MSG(!frontier_x.empty() || !frontier_y.empty(),
+                   "p-cycle BFS exhausted without meeting");
+    std::int64_t met;
+    if (!frontier_x.empty() &&
+        (frontier_y.empty() || frontier_x.size() <= frontier_y.size())) {
+      met = expand(frontier_x, dist_x, dist_y, depth_x);
+    } else {
+      met = expand(frontier_y, dist_y, dist_x, depth_y);
+    }
+    if (met >= 0) {
+      // The first meeting gives a path; it may overshoot the true distance
+      // by at most 1 level per side — tighten by scanning both tables.
+      std::uint32_t best = static_cast<std::uint32_t>(met);
+      for (const auto& [v, dv] : dist_x) {
+        auto it = dist_y.find(v);
+        if (it != dist_y.end()) best = std::min(best, dv + it->second);
+      }
+      return best;
+    }
+  }
+}
+
+std::vector<Vertex> PCycle::shortest_path(Vertex x, Vertex y) const {
+  if (x == y) return {x};
+  // Forward BFS from x with parent pointers until y found, but bounded by
+  // the bidirectional distance so the search stays shallow.
+  const std::uint32_t d = distance(x, y);
+  std::unordered_map<Vertex, Vertex> parent{{x, x}};
+  std::vector<Vertex> frontier{x};
+  for (std::uint32_t depth = 0; depth < d; ++depth) {
+    std::vector<Vertex> next;
+    for (Vertex v : frontier) {
+      for (Vertex w : ports(v)) {
+        if (parent.contains(w)) continue;
+        parent.emplace(w, v);
+        if (w == y) {
+          std::vector<Vertex> path{y};
+          Vertex cur = y;
+          while (cur != x) {
+            cur = parent.at(cur);
+            path.push_back(cur);
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+  }
+  DEX_ASSERT_MSG(false, "shortest_path: target not found within distance");
+  return {};
+}
+
+void PCycle::ensure_zero_tree() const {
+  if (!zero_dist_.empty()) return;
+  zero_dist_.assign(p_, ~std::uint32_t{0});
+  zero_parent_.assign(p_, 0);
+  std::vector<Vertex> frontier{0};
+  zero_dist_[0] = 0;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    std::vector<Vertex> next;
+    for (Vertex v : frontier) {
+      for (Vertex w : ports(v)) {
+        if (zero_dist_[w] != ~std::uint32_t{0}) continue;
+        zero_dist_[w] = depth;
+        zero_parent_[w] = v;
+        next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+std::uint32_t PCycle::distance_to_zero(Vertex x) const {
+  ensure_zero_tree();
+  return zero_dist_[x];
+}
+
+std::vector<Vertex> PCycle::path_to_zero(Vertex x) const {
+  ensure_zero_tree();
+  std::vector<Vertex> path{x};
+  Vertex cur = x;
+  while (cur != 0) {
+    cur = zero_parent_[cur];
+    path.push_back(cur);
+  }
+  return path;
+}
+
+}  // namespace dex

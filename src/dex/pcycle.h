@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file pcycle.h
+/// The p-cycle expander family (Definition 1 of the paper, after Lubotzky).
+///
+/// For a prime p, Z(p) has vertex set Z_p = {0, …, p−1} and edges
+///   (1) y = x+1 mod p  (cycle successor),
+///   (2) y = x−1 mod p  (cycle predecessor),
+///   (3) y = x^{-1} mod p for x, y > 0  (inverse chord),
+/// plus a self-loop at 0 (and the chord rule makes 1 and p−1 self-looped,
+/// since 1^{-1} = 1 and (p−1)^{-1} = p−1). Every vertex thus has exactly
+/// three ports (a self-loop counting 1), giving an infinite 3-regular family
+/// with a constant spectral gap.
+///
+/// The adjacency is fully analytic — neighbors cost O(log p) (one modular
+/// inverse) — so the virtual graph is never materialized. Shortest paths
+/// are computed on demand by bidirectional BFS (the graph is an expander,
+/// so frontiers meet after ~diam/2 = O(log p) levels) and, for the
+/// coordinator's fixed target (vertex 0), via a cached BFS tree.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.h"
+#include "support/mathutil.h"
+
+namespace dex {
+
+using Vertex = std::uint64_t;
+
+class PCycle {
+ public:
+  /// p must be prime (checked).
+  explicit PCycle(std::uint64_t p);
+
+  [[nodiscard]] std::uint64_t p() const { return p_; }
+
+  [[nodiscard]] Vertex succ(Vertex x) const { return x + 1 == p_ ? 0 : x + 1; }
+  [[nodiscard]] Vertex pred(Vertex x) const { return x == 0 ? p_ - 1 : x - 1; }
+
+  /// The chord port: x^{-1} mod p for x > 0; 0 maps to itself (the explicit
+  /// self-loop of Definition 1). Note inv(1) = 1 and inv(p−1) = p−1.
+  [[nodiscard]] Vertex inv(Vertex x) const {
+    if (x == 0) return 0;
+    auto r = support::modinv(x, p_);
+    DEX_ASSERT(r.has_value());
+    return *r;
+  }
+
+  /// The three ports of x in a fixed order {succ, pred, inv}.
+  [[nodiscard]] std::array<Vertex, 3> ports(Vertex x) const {
+    return {succ(x), pred(x), inv(x)};
+  }
+
+  /// Degree is 3 for every vertex (self-loops count 1).
+  [[nodiscard]] static constexpr unsigned degree() { return 3; }
+
+  /// Distance from x to y (bidirectional BFS; O(sqrt p)-ish work).
+  [[nodiscard]] std::uint32_t distance(Vertex x, Vertex y) const;
+
+  /// A shortest path from x to y, inclusive of both endpoints.
+  [[nodiscard]] std::vector<Vertex> shortest_path(Vertex x, Vertex y) const;
+
+  /// Distance to vertex 0 using the cached BFS tree (O(1) after the first
+  /// call, which builds the tree in O(p)).
+  [[nodiscard]] std::uint32_t distance_to_zero(Vertex x) const;
+
+  /// Path from x to 0 along the cached BFS tree (a shortest path).
+  [[nodiscard]] std::vector<Vertex> path_to_zero(Vertex x) const;
+
+  /// All (undirected) edges, self-loops once: used by tests and by
+  /// materialization of the real network snapshot.
+  /// Enumeration order: for each x, the edge (x, succ(x)); then for each
+  /// x <= inv(x), the chord (x, inv(x)).
+  template <class Fn>
+  void for_each_edge(Fn&& fn) const {
+    for (Vertex x = 0; x < p_; ++x) fn(x, succ(x));
+    for (Vertex x = 0; x < p_; ++x) {
+      const Vertex y = inv(x);
+      if (x <= y) fn(x, y);
+    }
+  }
+
+ private:
+  void ensure_zero_tree() const;
+
+  std::uint64_t p_;
+  // Lazily built BFS tree rooted at 0: parent pointer per vertex.
+  mutable std::vector<std::uint32_t> zero_dist_;
+  mutable std::vector<Vertex> zero_parent_;
+};
+
+}  // namespace dex

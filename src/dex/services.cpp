@@ -1,0 +1,85 @@
+#include "dex/services.h"
+
+#include "graph/bfs.h"
+#include "support/mathutil.h"
+
+namespace dex {
+
+SampleResult sample_node(DexNetwork& net, NodeId origin) {
+  DEX_ASSERT(net.alive(origin));
+  SampleResult res;
+  auto& rng = net.rng();
+  const std::uint64_t len = std::max<std::uint64_t>(
+      2, support::scaled_log(net.params().walk_factor,
+                             std::max<std::uint64_t>(net.n(), 2)));
+  std::vector<std::uint64_t> ports;
+  // Rejection sampling: accept a landing node u with probability
+  // min_load/load(u) (min_load == 1 by surjectivity), so the accepted
+  // distribution is uniform over nodes up to the walk's mixing error.
+  // After the initial full-length walk the chain is mixed; a rejected
+  // attempt only needs a short extension walk before re-drawing, keeping
+  // the expected total cost at O(log n).
+  NodeId cur = origin;
+  const std::uint64_t retry_len = std::max<std::uint64_t>(2, len / 4);
+  for (res.attempts = 1; res.attempts <= 64; ++res.attempts) {
+    const std::uint64_t hop_count = res.attempts == 1 ? len : retry_len;
+    for (std::uint64_t s = 0; s < hop_count; ++s) {
+      net.ports_of(cur, ports);
+      DEX_ASSERT(!ports.empty());
+      cur = static_cast<NodeId>(ports[rng.below(ports.size())]);
+      res.cost.rounds += 1;
+      res.cost.messages += 1;
+    }
+    const std::uint64_t load = std::max<std::uint64_t>(net.total_load(cur), 1);
+    if (rng.below(load) == 0) {
+      res.node = cur;
+      return res;
+    }
+  }
+  // Overwhelmingly unlikely (acceptance prob >= 1/(8ζ)); fall back to the
+  // last landing node.
+  std::vector<std::uint64_t> p2;
+  net.ports_of(origin, p2);
+  res.node = origin;
+  return res;
+}
+
+BroadcastResult broadcast(DexNetwork& net, NodeId origin) {
+  DEX_ASSERT(net.alive(origin));
+  BroadcastResult res;
+  const auto g = net.snapshot();
+  const auto mask = net.alive_mask();
+  const auto dist = graph::bfs_distances(g, origin, mask);
+  std::uint64_t ecc = 0;
+  std::uint64_t degree_sum = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (!mask[u]) continue;
+    if (dist[u] != graph::kUnreached) {
+      ++res.reached;
+      ecc = std::max<std::uint64_t>(ecc, dist[u]);
+    }
+    degree_sum += g.degree(u);
+  }
+  res.cost.rounds = ecc;
+  res.cost.messages = degree_sum;  // one forward per directed edge
+  return res;
+}
+
+RouteResult route(DexNetwork& net, NodeId from, NodeId to) {
+  DEX_ASSERT(net.alive(from) && net.alive(to));
+  RouteResult res;
+  if (from == to) {
+    res.delivered = true;
+    return res;
+  }
+  const auto& sf = net.mapping().sim(from);
+  const auto& st = net.mapping().sim(to);
+  if (sf.empty() || st.empty()) return res;  // mid-build newcomers
+  const std::uint64_t hops = net.cycle().distance(sf[0], st[0]);
+  res.cost.rounds = hops;
+  res.cost.messages = hops;
+  res.delivered = true;
+  return res;
+}
+
+}  // namespace dex

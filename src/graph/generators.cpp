@@ -1,0 +1,70 @@
+#include "graph/generators.h"
+
+#include <numeric>
+
+namespace dex::graph {
+
+Multigraph make_cycle(std::size_t n) {
+  DEX_ASSERT(n >= 3);
+  Multigraph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    g.add_edge(u, static_cast<NodeId>((u + 1) % n));
+  return g;
+}
+
+Multigraph make_complete(std::size_t n) {
+  Multigraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Multigraph make_hypercube(unsigned dims) {
+  const std::size_t n = std::size_t{1} << dims;
+  Multigraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (unsigned b = 0; b < dims; ++b) {
+      const NodeId v = u ^ (NodeId{1} << b);
+      if (u < v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Multigraph make_path(std::size_t n) {
+  DEX_ASSERT(n >= 2);
+  Multigraph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, static_cast<NodeId>(u + 1));
+  return g;
+}
+
+Multigraph make_random_regular(std::size_t n, std::size_t d,
+                               support::Rng& rng) {
+  DEX_ASSERT((n * d) % 2 == 0);
+  Multigraph g(n);
+  std::vector<NodeId> stubs;
+  stubs.reserve(n * d);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t k = 0; k < d; ++k) stubs.push_back(u);
+  }
+  rng.shuffle(stubs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
+    g.add_edge(stubs[i], stubs[i + 1]);
+  return g;
+}
+
+Multigraph make_dumbbell(std::size_t half) {
+  DEX_ASSERT(half >= 2);
+  Multigraph g(2 * half);
+  for (NodeId u = 0; u < half; ++u) {
+    for (NodeId v = u + 1; v < half; ++v) {
+      g.add_edge(u, v);
+      g.add_edge(static_cast<NodeId>(half + u), static_cast<NodeId>(half + v));
+    }
+  }
+  g.add_edge(0, static_cast<NodeId>(half));
+  return g;
+}
+
+}  // namespace dex::graph

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file generators.h
+/// Reference graph constructions used by tests and baselines: cycles,
+/// complete graphs, hypercubes (closed-form spectra for validating the
+/// solver) and random d-regular multigraphs via the configuration model
+/// (good expanders w.h.p. — the claim DEX is contrasted against).
+
+#include <cstdint>
+
+#include "graph/multigraph.h"
+#include "support/prng.h"
+
+namespace dex::graph {
+
+[[nodiscard]] Multigraph make_cycle(std::size_t n);
+[[nodiscard]] Multigraph make_complete(std::size_t n);
+[[nodiscard]] Multigraph make_hypercube(unsigned dims);
+[[nodiscard]] Multigraph make_path(std::size_t n);
+
+/// Random d-regular multigraph via stub pairing (configuration model).
+/// May contain self-loops and parallel edges (each self-loop consumes two
+/// stubs, so degrees count a loop as 2 here — callers that need the DEX
+/// loop-degree-1 convention should not use this generator).
+/// Requires n*d even.
+[[nodiscard]] Multigraph make_random_regular(std::size_t n, std::size_t d,
+                                             support::Rng& rng);
+
+/// "Dumbbell": two complete graphs of size n/2 joined by one edge — the
+/// canonical low-conductance graph, used to validate the sweep cut.
+[[nodiscard]] Multigraph make_dumbbell(std::size_t half);
+
+}  // namespace dex::graph

@@ -1,0 +1,49 @@
+#include "graph/multigraph.h"
+
+#include <algorithm>
+
+namespace dex::graph {
+
+bool Multigraph::remove_edge(NodeId u, NodeId v) {
+  DEX_ASSERT(u < adj_.size() && v < adj_.size());
+  auto& au = adj_[u];
+  auto it = std::find(au.begin(), au.end(), v);
+  if (it == au.end()) return false;
+  au.erase(it);
+  if (u != v) {
+    auto& av = adj_[v];
+    auto jt = std::find(av.begin(), av.end(), u);
+    DEX_ASSERT_MSG(jt != av.end(), "multigraph port lists out of sync");
+    av.erase(jt);
+  }
+  return true;
+}
+
+void Multigraph::isolate(NodeId u) {
+  DEX_ASSERT(u < adj_.size());
+  for (NodeId v : adj_[u]) {
+    if (v == u) continue;
+    auto& av = adj_[v];
+    av.erase(std::remove(av.begin(), av.end(), u), av.end());
+  }
+  adj_[u].clear();
+}
+
+std::size_t Multigraph::multiplicity(NodeId u, NodeId v) const {
+  DEX_ASSERT(u < adj_.size() && v < adj_.size());
+  return static_cast<std::size_t>(
+      std::count(adj_[u].begin(), adj_[u].end(), v));
+}
+
+bool Multigraph::is_consistent() const {
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (v >= adj_.size()) return false;
+      if (v == u) continue;
+      if (multiplicity(v, u) != multiplicity(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dex::graph

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file multigraph.h
+/// A compact undirected multigraph with self-loops.
+///
+/// The real network G_t of the paper is the image of a 3-regular virtual
+/// expander under vertex contraction, so it is naturally a *multigraph*:
+/// two virtual edges may map to the same pair of real nodes, and a virtual
+/// edge between two vertices simulated at the same node becomes a self-loop.
+/// Random walks and the spectral analysis must respect these multiplicities
+/// (Lemma 10 / Lemma 1 of the paper are statements about the contracted
+/// multigraph), so we keep explicit port lists rather than neighbor sets.
+///
+/// Degree convention: a self-loop contributes 1 to the degree (matching the
+/// paper's 3-regular p-cycle where vertex 0 has neighbors {1, p-1, itself}).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace dex::graph {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+class Multigraph {
+ public:
+  Multigraph() = default;
+  explicit Multigraph(std::size_t n) : adj_(n) {}
+
+  [[nodiscard]] std::size_t node_count() const { return adj_.size(); }
+
+  /// Total degree (self-loop counts 1).
+  [[nodiscard]] std::size_t degree(NodeId u) const {
+    return adj_[u].size();
+  }
+
+  /// Sum of degrees over all nodes.
+  [[nodiscard]] std::size_t total_degree() const {
+    std::size_t s = 0;
+    for (const auto& a : adj_) s += a.size();
+    return s;
+  }
+
+  /// Ports (incident edge endpoints) of u; may contain duplicates and u
+  /// itself (self-loop).
+  [[nodiscard]] std::span<const NodeId> ports(NodeId u) const {
+    return adj_[u];
+  }
+
+  NodeId add_node() {
+    adj_.emplace_back();
+    return static_cast<NodeId>(adj_.size() - 1);
+  }
+
+  /// Adds an undirected edge {u, v}; a self-loop (u == v) adds one port.
+  void add_edge(NodeId u, NodeId v) {
+    DEX_ASSERT(u < adj_.size() && v < adj_.size());
+    adj_[u].push_back(v);
+    if (u != v) adj_[v].push_back(u);
+  }
+
+  /// Removes one copy of {u, v} if present; returns whether an edge was
+  /// removed. O(deg).
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// Removes all ports of u and all ports pointing at u. O(sum of degrees of
+  /// u's neighbors). Node ids remain valid; u becomes isolated.
+  void isolate(NodeId u);
+
+  /// Number of edges between u and v (self-loops counted once).
+  [[nodiscard]] std::size_t multiplicity(NodeId u, NodeId v) const;
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return multiplicity(u, v) > 0;
+  }
+
+  /// Structural audit: every port (u -> v) with u != v has a matching
+  /// reverse port. Used by heavy asserts in tests.
+  [[nodiscard]] bool is_consistent() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+}  // namespace dex::graph

@@ -1,0 +1,56 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dex::metrics {
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  double total = 0;
+  for (double v : values) total += v;
+  s.mean = total / static_cast<double>(values.size());
+  auto pct = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1));
+    return values[idx];
+  };
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
+  s.max = values.back();
+  return s;
+}
+
+LinearFit fit_line(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  LinearFit f;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return f;
+  f.slope = (dn * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / dn;
+  const double sst = syy - sy * sy / dn;
+  double sse = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = y[i] - (f.intercept + f.slope * x[i]);
+    sse += e * e;
+  }
+  f.r2 = sst > 1e-12 ? 1.0 - sse / sst : 1.0;
+  return f;
+}
+
+}  // namespace dex::metrics

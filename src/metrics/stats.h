@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file stats.h
+/// Small numeric summaries for the benches: per-step cost series condensed
+/// into mean / percentiles / max, plus a least-squares slope against log n
+/// (used to check the O(log n) growth claims of Theorem 1).
+
+#include <cstdint>
+#include <vector>
+
+namespace dex::metrics {
+
+struct Summary {
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] Summary summarize(std::vector<double> values);
+
+/// Least-squares fit y ≈ a + b·x; returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;
+};
+[[nodiscard]] LinearFit fit_line(const std::vector<double>& x,
+                                 const std::vector<double>& y);
+
+}  // namespace dex::metrics

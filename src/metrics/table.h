@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file table.h
+/// Markdown-style table printer used by every bench to emit the paper's
+/// tables/series in a uniform, diffable format.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dex::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders as a GitHub-flavored markdown table.
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+  /// Numeric formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dex::metrics

@@ -1,0 +1,23 @@
+#include "sim/flood.h"
+
+#include "graph/bfs.h"
+
+namespace dex::sim {
+
+StepCost flood_cost(const graph::Multigraph& g, graph::NodeId source,
+                    const std::vector<bool>& alive) {
+  StepCost c;
+  c.rounds = 2ULL * graph::eccentricity(g, source, alive);
+  std::uint64_t degree_sum = 0;
+  for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+    if (!alive.empty() && !alive[u]) continue;
+    degree_sum += g.degree(u);
+  }
+  // Broadcast: every node forwards once over each incident edge => one
+  // message per directed edge = degree_sum. Convergecast: one reply per
+  // directed tree edge + suppressed duplicates, bounded by degree_sum again.
+  c.messages = 2 * degree_sum;
+  return c;
+}
+
+}  // namespace dex::sim

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file flood.h
+/// Cost model for flooding/aggregation (Algorithm 4.4 of the paper:
+/// computeSpare / computeLow). A BFS-style broadcast from the initiator
+/// followed by a convergecast of the aggregate takes 2·ecc(source) rounds
+/// and ~2 messages per edge (one out, one back).
+
+#include "graph/multigraph.h"
+#include "sim/meters.h"
+
+namespace dex::sim {
+
+/// Cost of one broadcast+convergecast from `source` over the alive subgraph.
+[[nodiscard]] StepCost flood_cost(const graph::Multigraph& g,
+                                  graph::NodeId source,
+                                  const std::vector<bool>& alive = {});
+
+}  // namespace dex::sim

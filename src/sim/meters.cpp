@@ -1,0 +1,3 @@
+#include "sim/meters.h"
+
+// Header-only; this TU anchors the library target.

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file meters.h
+/// Cost accounting in the units of the paper's model (§2): synchronous
+/// rounds, O(log n)-bit messages, and topology changes (real edge
+/// additions/removals). Every distributed action in the library is charged
+/// through a CostMeter; the benches read per-step and cumulative figures
+/// from here.
+
+#include <cstdint>
+
+namespace dex::sim {
+
+/// Cost of a single self-healing step (one insertion or deletion + repair).
+struct StepCost {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t topology_changes = 0;
+
+  StepCost& operator+=(const StepCost& o) {
+    rounds += o.rounds;
+    messages += o.messages;
+    topology_changes += o.topology_changes;
+    return *this;
+  }
+};
+
+/// Accumulating meter with a per-step window.
+class CostMeter {
+ public:
+  void add_rounds(std::uint64_t r) {
+    step_.rounds += r;
+    total_.rounds += r;
+  }
+  void add_messages(std::uint64_t m) {
+    step_.messages += m;
+    total_.messages += m;
+  }
+  void add_topology(std::uint64_t c) {
+    step_.topology_changes += c;
+    total_.topology_changes += c;
+  }
+  void add(const StepCost& c) {
+    add_rounds(c.rounds);
+    add_messages(c.messages);
+    add_topology(c.topology_changes);
+  }
+
+  /// Starts a new step window; returns the cost of the window just closed.
+  StepCost end_step() {
+    StepCost closed = step_;
+    step_ = StepCost{};
+    return closed;
+  }
+
+  [[nodiscard]] const StepCost& step() const { return step_; }
+  [[nodiscard]] const StepCost& total() const { return total_; }
+
+  void reset() {
+    step_ = StepCost{};
+    total_ = StepCost{};
+  }
+
+ private:
+  StepCost step_;
+  StepCost total_;
+};
+
+}  // namespace dex::sim

@@ -1,0 +1,76 @@
+#include "sim/router.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/assert.h"
+
+namespace dex::sim {
+
+namespace {
+
+std::uint64_t edge_key(std::uint64_t from, std::uint64_t to) {
+  DEX_ASSERT(from < (1ULL << 32) && to < (1ULL << 32));
+  return (from << 32) | to;
+}
+
+struct Flight {
+  std::size_t packet_idx;
+  std::size_t position;  ///< index into path; at path[position]
+};
+
+}  // namespace
+
+RoutingResult route_packets(std::vector<Packet> packets, support::Rng& rng,
+                            std::uint64_t round_limit) {
+  RoutingResult res;
+  std::vector<Flight> flights;
+  flights.reserve(packets.size());
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    DEX_ASSERT_MSG(!packets[i].path.empty(), "packet with empty path");
+    flights.push_back({i, 0});
+    if (packets[i].path.size() > 1) ++active;
+  }
+
+  std::unordered_set<std::uint64_t> used_edges;
+  std::unordered_map<std::uint64_t, std::uint64_t> queue_depth;
+
+  while (active > 0 && res.rounds < round_limit) {
+    ++res.rounds;
+    used_edges.clear();
+    queue_depth.clear();
+
+    // Farthest-to-go first; random tie-break for fairness.
+    rng.shuffle(flights);
+    std::stable_sort(flights.begin(), flights.end(),
+                     [&](const Flight& a, const Flight& b) {
+                       const std::size_t ra =
+                           packets[a.packet_idx].path.size() - a.position;
+                       const std::size_t rb =
+                           packets[b.packet_idx].path.size() - b.position;
+                       return ra > rb;
+                     });
+
+    for (Flight& f : flights) {
+      const auto& path = packets[f.packet_idx].path;
+      if (f.position + 1 >= path.size()) continue;  // delivered
+      ++queue_depth[path[f.position]];
+      const std::uint64_t key =
+          edge_key(path[f.position], path[f.position + 1]);
+      if (used_edges.contains(key)) continue;  // edge busy this round
+      used_edges.insert(key);
+      ++f.position;
+      ++res.messages;
+      if (f.position + 1 >= path.size()) --active;
+    }
+    for (const auto& [loc, depth] : queue_depth)
+      res.max_queue = std::max(res.max_queue, depth);
+  }
+
+  res.all_delivered = (active == 0);
+  return res;
+}
+
+}  // namespace dex::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file router.h
+/// Store-and-forward packet routing under CONGEST congestion, used to
+/// reproduce the permutation-routing subroutine of type-2 recovery
+/// (Corollary 3 of the paper, from Scheideler's Corollary 7.7.3: n packets,
+/// one per node, follow an arbitrary permutation in O(log n (log log n)² /
+/// log log log n) rounds on a bounded-degree expander).
+///
+/// Each packet carries an explicit path (sequence of location ids). Per
+/// round, each directed edge forwards at most one packet; blocked packets
+/// queue at their current location (farthest-to-go first, a standard
+/// deadlock-free priority).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/meters.h"
+#include "support/prng.h"
+
+namespace dex::sim {
+
+struct Packet {
+  std::vector<std::uint64_t> path;  ///< path[0] = source, back() = dest
+  std::uint32_t tag = 0;
+};
+
+struct RoutingResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;   ///< total hops taken
+  std::uint64_t max_queue = 0;  ///< max packets queued at a location
+  bool all_delivered = false;
+};
+
+/// Routes all packets along their paths. round_limit guards against
+/// pathological inputs (paths are caller-provided).
+[[nodiscard]] RoutingResult route_packets(std::vector<Packet> packets,
+                                          support::Rng& rng,
+                                          std::uint64_t round_limit);
+
+}  // namespace dex::sim

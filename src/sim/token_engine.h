@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file token_engine.h
+/// Parallel random walks under CONGEST congestion.
+///
+/// The paper repeatedly runs many random-walk tokens simultaneously
+/// (Phase 2 of simplifiedInfl/simplifiedDefl; the batch extension of §5) and
+/// relies on Lemma 11: with at most one token per edge per direction per
+/// round, n tokens of length Θ(log n) all finish within O(log² n) rounds
+/// w.h.p. This engine implements exactly that model: per round, every
+/// unfinished token picks a uniformly random port of its current location;
+/// if the chosen directed edge was already claimed this round, the token
+/// waits (and re-picks next round). Each successful move costs one message.
+///
+/// The engine is generic over the graph: locations are opaque 64-bit ids and
+/// the caller supplies the port set. This lets the same engine drive walks
+/// on the real multigraph (type-1 recovery variants) and walks on the
+/// *virtual* p-cycle simulated on the real network (type-2 rebalancing),
+/// where the congestion key is the directed virtual edge (virtual edges map
+/// 1:1 to real links).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/meters.h"
+#include "support/prng.h"
+
+namespace dex::sim {
+
+struct Token {
+  std::uint64_t location = 0;       ///< current location id
+  std::uint64_t steps_remaining = 0;
+  std::uint32_t tag = 0;            ///< caller-defined identity
+  bool finished = false;
+};
+
+struct EngineResult {
+  std::vector<Token> tokens;   ///< final states, same order as input
+  std::uint64_t rounds = 0;    ///< synchronous rounds elapsed
+  std::uint64_t messages = 0;  ///< total token moves
+  bool all_finished = false;
+};
+
+/// Enumerates the ports (neighbor location ids) of a location into `out`.
+/// `out` is reused across calls to avoid allocation.
+using PortsFn =
+    std::function<void(std::uint64_t loc, std::vector<std::uint64_t>& out)>;
+
+/// Runs all tokens to completion (or until round_limit). Tokens that still
+/// have steps left at the limit are reported unfinished at their current
+/// location.
+[[nodiscard]] EngineResult run_walks(std::vector<Token> tokens,
+                                     const PortsFn& ports,
+                                     support::Rng& rng,
+                                     std::uint64_t round_limit);
+
+}  // namespace dex::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file assert.h
+/// Invariant-checking macros for the DEX library.
+///
+/// DEX_ASSERT is always on (it guards algorithmic invariants whose violation
+/// would silently corrupt an experiment, so we never compile it out, even in
+/// release builds — the checks are O(1) and off the hot paths).
+/// DEX_HEAVY_ASSERT guards O(n)-or-worse audits and is enabled only when
+/// DEX_ENABLE_HEAVY_ASSERTS is defined (the test suite defines it).
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dex::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "DEX_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace dex::support
+
+#define DEX_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::dex::support::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define DEX_ASSERT_MSG(expr, msg)                                  \
+  do {                                                             \
+    if (!(expr))                                                   \
+      ::dex::support::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef DEX_ENABLE_HEAVY_ASSERTS
+#define DEX_HEAVY_ASSERT(expr) DEX_ASSERT(expr)
+#else
+#define DEX_HEAVY_ASSERT(expr) \
+  do {                         \
+  } while (0)
+#endif

@@ -1,0 +1,121 @@
+#include "support/mathutil.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace dex::support {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  DEX_ASSERT(m != 0);
+  if (m == 1) return 0;
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+/// One Miller–Rabin round; returns true if n passes for witness a.
+bool miller_rabin_round(std::uint64_t n, std::uint64_t a, std::uint64_t d,
+                        unsigned r) {
+  a %= n;
+  if (a == 0) return true;
+  std::uint64_t x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (unsigned i = 1; i < r; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  unsigned r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64 (Sorenson & Webster).
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!miller_rabin_round(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> modinv(std::uint64_t a, std::uint64_t m) {
+  DEX_ASSERT(m > 1);
+  std::int64_t t = 0, new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(m),
+               new_r = static_cast<std::int64_t>(a % m);
+  while (new_r != 0) {
+    const std::int64_t q = r / new_r;
+    t -= q * new_t;
+    std::swap(t, new_t);
+    r -= q * new_r;
+    std::swap(r, new_r);
+  }
+  if (r != 1) return std::nullopt;  // not coprime
+  if (t < 0) t += static_cast<std::int64_t>(m);
+  return static_cast<std::uint64_t>(t);
+}
+
+std::optional<std::uint64_t> smallest_prime_in(std::uint64_t lo,
+                                               std::uint64_t hi) {
+  for (std::uint64_t n = lo + 1; n < hi; ++n) {
+    if (is_prime(n)) return n;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t inflation_prime(std::uint64_t p) {
+  auto q = smallest_prime_in(4 * p, 8 * p);
+  DEX_ASSERT_MSG(q.has_value(), "Bertrand range (4p, 8p) must contain a prime");
+  return *q;
+}
+
+std::uint64_t deflation_prime(std::uint64_t p) {
+  auto q = smallest_prime_in(p / 8, p / 4);
+  DEX_ASSERT_MSG(q.has_value(), "range (p/8, p/4) must contain a prime");
+  return *q;
+}
+
+std::uint64_t scaled_log(double c, std::uint64_t n) {
+  if (n < 2) return 1;
+  const double v = c * std::log(static_cast<double>(n));
+  return static_cast<std::uint64_t>(std::ceil(v));
+}
+
+std::vector<std::uint64_t> primes_up_to(std::uint64_t limit) {
+  std::vector<bool> sieve(limit + 1, true);
+  std::vector<std::uint64_t> out;
+  if (limit < 2) return out;
+  sieve[0] = sieve[1] = false;
+  for (std::uint64_t i = 2; i <= limit; ++i) {
+    if (!sieve[i]) continue;
+    out.push_back(i);
+    for (std::uint64_t j = i * i; j <= limit; j += i) sieve[j] = false;
+  }
+  return out;
+}
+
+}  // namespace dex::support

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file mathutil.h
+/// Number-theoretic helpers used by the p-cycle expander family (Def. 1 of
+/// the paper): modular arithmetic, modular inverses, deterministic
+/// Miller–Rabin primality for 64-bit integers, and prime search in the
+/// Bertrand ranges (4p, 8p) and (p/8, p/4) used by inflation/deflation.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace dex::support {
+
+/// (a * b) mod m without overflow, for m < 2^63.
+[[nodiscard]] std::uint64_t mulmod(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t m);
+
+/// (base ^ exp) mod m.
+[[nodiscard]] std::uint64_t powmod(std::uint64_t base, std::uint64_t exp,
+                                   std::uint64_t m);
+
+/// Deterministic Miller–Rabin for all 64-bit integers
+/// (witness set {2,3,5,7,11,13,17,19,23,29,31,37}).
+[[nodiscard]] bool is_prime(std::uint64_t n);
+
+/// Extended Euclid: returns x with (a*x) mod m == 1, if gcd(a, m) == 1.
+[[nodiscard]] std::optional<std::uint64_t> modinv(std::uint64_t a,
+                                                  std::uint64_t m);
+
+/// Smallest prime p with lo < p < hi (strict), or nullopt if none.
+[[nodiscard]] std::optional<std::uint64_t> smallest_prime_in(std::uint64_t lo,
+                                                             std::uint64_t hi);
+
+/// Smallest prime in the inflation range (4p, 8p). Bertrand's postulate
+/// guarantees existence for p >= 1 (there is a prime in (4p, 8p)).
+[[nodiscard]] std::uint64_t inflation_prime(std::uint64_t p);
+
+/// Smallest prime in the deflation range (p/8, p/4); requires p large enough
+/// that the open interval contains a prime (p >= 12 suffices: (1.5,3)∋2).
+[[nodiscard]] std::uint64_t deflation_prime(std::uint64_t p);
+
+/// ceil(a*x / b) for non-negative integers, overflow-safe for a*x < 2^63.
+[[nodiscard]] constexpr std::uint64_t ceil_div_mul(std::uint64_t a,
+                                                   std::uint64_t x,
+                                                   std::uint64_t b) {
+  return (a * x + b - 1) / b;
+}
+
+/// floor(log2(n)) for n >= 1.
+[[nodiscard]] constexpr unsigned floor_log2(std::uint64_t n) {
+  unsigned r = 0;
+  while (n >>= 1) ++r;
+  return r;
+}
+
+/// Natural-log-based ceil(c * ln n), used for walk lengths Θ(log n).
+[[nodiscard]] std::uint64_t scaled_log(double c, std::uint64_t n);
+
+/// All primes <= limit (simple sieve; used by tests and the p-cycle sweep).
+[[nodiscard]] std::vector<std::uint64_t> primes_up_to(std::uint64_t limit);
+
+}  // namespace dex::support

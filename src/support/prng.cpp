@@ -1,0 +1,12 @@
+#include "support/prng.h"
+
+// All of Rng is header-inline; this translation unit exists so the support
+// library has a stable archive member and so static checks on the header run
+// in isolation.
+
+namespace dex::support {
+
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == ~0ULL);
+
+}  // namespace dex::support

@@ -1,0 +1,118 @@
+#include "xheal/xheal.h"
+
+#include <algorithm>
+
+#include "dex/pcycle.h"
+#include "support/assert.h"
+#include "support/mathutil.h"
+
+namespace dex::xheal {
+
+XhealNetwork::XhealNetwork(Multigraph initial)
+    : g_(std::move(initial)),
+      alive_(g_.node_count(), true),
+      n_alive_(g_.node_count()),
+      overhead_(g_.node_count(), 0) {
+  DEX_ASSERT(g_.node_count() >= 2);
+}
+
+std::vector<NodeId> XhealNetwork::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(n_alive_);
+  for (NodeId u = 0; u < alive_.size(); ++u) {
+    if (alive_[u]) out.push_back(u);
+  }
+  return out;
+}
+
+NodeId XhealNetwork::insert(const std::vector<NodeId>& attach_to) {
+  meter_.end_step();
+  DEX_ASSERT(!attach_to.empty());
+  const NodeId u = g_.add_node();
+  alive_.push_back(true);
+  overhead_.push_back(0);
+  ++n_alive_;
+  for (NodeId a : attach_to) {
+    DEX_ASSERT(alive(a));
+    g_.add_edge(u, a);
+    meter_.add_topology(1);
+    meter_.add_messages(1);
+  }
+  meter_.add_rounds(1);
+  last_ = meter_.end_step();
+  return u;
+}
+
+void XhealNetwork::remove(NodeId victim) {
+  meter_.end_step();
+  DEX_ASSERT(alive(victim) && n_alive_ >= 3);
+  // Collect the (distinct) orphaned neighbors before cutting.
+  std::vector<NodeId> orphans;
+  for (NodeId w : g_.ports(victim)) {
+    if (w != victim && alive_[w]) orphans.push_back(w);
+  }
+  std::sort(orphans.begin(), orphans.end());
+  orphans.erase(std::unique(orphans.begin(), orphans.end()), orphans.end());
+  for (NodeId w : orphans) overhead_[w] -= 1;
+
+  g_.isolate(victim);
+  alive_[victim] = false;
+  --n_alive_;
+  meter_.add_topology(orphans.size());
+
+  heal_neighborhood(orphans);
+  last_ = meter_.end_step();
+}
+
+void XhealNetwork::heal_neighborhood(const std::vector<NodeId>& orphans) {
+  const std::size_t k = orphans.size();
+  if (k <= 1) return;  // nothing to reconnect
+  if (k <= 4) {
+    // Tiny neighborhoods: a cycle is already an optimal patch.
+    for (std::size_t i = 0; i < k; ++i) {
+      const NodeId a = orphans[i];
+      const NodeId b = orphans[(i + 1) % k];
+      if (a == b || g_.has_edge(a, b)) continue;
+      g_.add_edge(a, b);
+      overhead_[a] += 1;
+      overhead_[b] += 1;
+      meter_.add_topology(1);
+      meter_.add_messages(2);
+    }
+    meter_.add_rounds(2);
+    return;
+  }
+  // The DEX subroutine: contract a p-cycle expander onto the orphan set
+  // (virtual vertex z -> orphan z mod k), adding only the patch edges that
+  // do not already exist. ζ-style balance gives each orphan ≤ 3·⌈p/k⌉ ≤ 9
+  // new edges; the patch's spectral gap is the family constant (Lemma 1).
+  const std::uint64_t p = [&] {
+    // Smallest prime ≥ max(k, 5); Bertrand guarantees one below 2k.
+    auto q = support::smallest_prime_in(std::max<std::uint64_t>(k, 5) - 1,
+                                        2 * std::max<std::uint64_t>(k, 5));
+    DEX_ASSERT(q.has_value());
+    return *q;
+  }();
+  const PCycle patch(p);
+  patch.for_each_edge([&](Vertex x, Vertex y) {
+    const NodeId a = orphans[x % k];
+    const NodeId b = orphans[y % k];
+    if (a == b || g_.has_edge(a, b)) return;
+    g_.add_edge(a, b);
+    overhead_[a] += 1;
+    overhead_[b] += 1;
+    meter_.add_topology(1);
+    meter_.add_messages(2);
+  });
+  meter_.add_rounds(2);
+}
+
+std::int64_t XhealNetwork::max_degree_overhead() const {
+  std::int64_t best = 0;
+  for (NodeId u = 0; u < alive_.size(); ++u) {
+    if (alive_[u]) best = std::max(best, overhead_[u]);
+  }
+  return best;
+}
+
+}  // namespace dex::xheal

@@ -1,0 +1,156 @@
+// The §5 extension (Corollary 2): batches of up to εn insertions/deletions
+// per step, parallel-walk recovery, precondition validation, and cost
+// envelopes (O(n log² n) messages / O(log³ n) rounds per batch).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dex/batch.h"
+#include "dex/network.h"
+#include "graph/bfs.h"
+#include "support/prng.h"
+
+using dex::BatchRequest;
+using dex::DexNetwork;
+using dex::NodeId;
+using dex::Params;
+
+namespace {
+
+Params amortized(std::uint64_t seed) {
+  Params p;
+  p.seed = seed;
+  p.mode = dex::RecoveryMode::Amortized;
+  return p;
+}
+
+}  // namespace
+
+TEST(Batch, BulkInsertions) {
+  DexNetwork net(64, amortized(71));
+  dex::support::Rng rng(1);
+  BatchRequest req;
+  const auto nodes = net.alive_nodes();
+  for (int i = 0; i < 8; ++i)
+    req.attach_to.push_back(nodes[rng.below(nodes.size())]);
+  const auto res = dex::apply_batch(net, req);
+  EXPECT_EQ(res.inserted.size(), 8u);
+  EXPECT_EQ(net.n(), 72u);
+  net.check_invariants();
+  EXPECT_TRUE(dex::graph::is_connected(net.snapshot(), net.alive_mask()));
+}
+
+TEST(Batch, BulkDeletions) {
+  DexNetwork net(64, amortized(72));
+  BatchRequest req;
+  for (NodeId v = 0; v < 8; ++v) req.deletions.push_back(v);
+  const auto res = dex::apply_batch(net, req);
+  EXPECT_EQ(net.n(), 56u);
+  EXPECT_GT(res.walk_epochs, 0u);
+  net.check_invariants();
+  EXPECT_TRUE(dex::graph::is_connected(net.snapshot(), net.alive_mask()));
+}
+
+TEST(Batch, MixedBatch) {
+  DexNetwork net(64, amortized(73));
+  BatchRequest req;
+  for (NodeId v = 0; v < 4; ++v) req.deletions.push_back(v);
+  for (NodeId a = 20; a < 26; ++a) req.attach_to.push_back(a);
+  const auto res = dex::apply_batch(net, req);
+  EXPECT_EQ(res.inserted.size(), 6u);
+  EXPECT_EQ(net.n(), 66u);
+  net.check_invariants();
+}
+
+TEST(Batch, RepeatedBatchesWithInflation) {
+  DexNetwork net(32, amortized(74));
+  dex::support::Rng rng(2);
+  bool saw_type2 = false;
+  for (int round = 0; round < 30; ++round) {
+    BatchRequest req;
+    const auto nodes = net.alive_nodes();
+    const std::size_t eps = std::max<std::size_t>(2, net.n() / 16);
+    for (std::size_t i = 0; i < eps; ++i)
+      req.attach_to.push_back(nodes[rng.below(nodes.size())]);
+    const auto res = dex::apply_batch(net, req);
+    saw_type2 = saw_type2 || res.used_type2;
+    net.check_invariants();
+  }
+  EXPECT_TRUE(saw_type2) << "growth batches should eventually inflate";
+  EXPECT_TRUE(dex::graph::is_connected(net.snapshot(), net.alive_mask()));
+}
+
+TEST(Batch, ShrinkingBatchesWithDeflation) {
+  DexNetwork net(32, amortized(75));
+  dex::support::Rng rng(3);
+  // Grow substantially first.
+  for (int round = 0; round < 25; ++round) {
+    BatchRequest req;
+    const auto nodes = net.alive_nodes();
+    for (std::size_t i = 0; i < std::max<std::size_t>(2, net.n() / 12); ++i)
+      req.attach_to.push_back(nodes[rng.below(nodes.size())]);
+    dex::apply_batch(net, req);
+  }
+  const auto peak = net.n();
+  bool saw_type2 = false;
+  while (net.n() > peak / 8 && net.n() > 16) {
+    BatchRequest req;
+    const auto nodes = net.alive_nodes();
+    const std::size_t eps = std::max<std::size_t>(2, net.n() / 16);
+    for (std::size_t i = 0; i < eps && i < nodes.size() - 8; ++i)
+      req.deletions.push_back(nodes[i]);
+    const auto res = dex::apply_batch(net, req);
+    saw_type2 = saw_type2 || res.used_type2;
+    net.check_invariants();
+  }
+  EXPECT_TRUE(saw_type2) << "shrink batches should eventually deflate";
+}
+
+TEST(Batch, CostEnvelopeCorollary2) {
+  DexNetwork net(256, amortized(76));
+  dex::support::Rng rng(4);
+  BatchRequest req;
+  const auto nodes = net.alive_nodes();
+  for (int i = 0; i < 16; ++i)
+    req.attach_to.push_back(nodes[rng.below(nodes.size())]);
+  for (int i = 0; i < 16; ++i) req.deletions.push_back(nodes[200 + i]);
+  const auto res = dex::apply_batch(net, req);
+  const double n = static_cast<double>(net.n());
+  const double lg = std::log2(n);
+  // Cor. 2: O(n log² n) messages, O(log³ n) rounds (generous constants).
+  EXPECT_LT(static_cast<double>(res.cost.messages), 20.0 * n * lg * lg);
+  EXPECT_LT(static_cast<double>(res.cost.rounds), 60.0 * lg * lg * lg);
+}
+
+TEST(Batch, RejectsDeletionsThatDisconnect) {
+  DexNetwork net(16, amortized(77));
+  BatchRequest req;
+  // Deleting almost everyone cannot leave each victim a surviving neighbor
+  // and a connected remainder.
+  for (NodeId v = 0; v < 14; ++v) req.deletions.push_back(v);
+  EXPECT_DEATH(dex::apply_batch(net, req), "");
+}
+
+TEST(Batch, RejectsDuplicateVictims) {
+  DexNetwork net(16, amortized(78));
+  BatchRequest req;
+  req.deletions = {3, 3};
+  EXPECT_DEATH(dex::apply_batch(net, req), "duplicate");
+}
+
+TEST(Batch, RejectsAttachToVictim) {
+  DexNetwork net(16, amortized(79));
+  BatchRequest req;
+  req.deletions = {3};
+  req.attach_to = {3};
+  EXPECT_DEATH(dex::apply_batch(net, req), "survive");
+}
+
+TEST(Batch, EmptyBatchIsNoop) {
+  DexNetwork net(16, amortized(80));
+  const auto res = dex::apply_batch(net, BatchRequest{});
+  EXPECT_EQ(res.inserted.size(), 0u);
+  EXPECT_EQ(net.n(), 16u);
+  net.check_invariants();
+}

@@ -1,0 +1,149 @@
+// DHT on top of DEX (§4.4.4): correctness of put/get/erase under churn,
+// O(log n) routing cost, survival across type-2 rebuilds (both modes,
+// including operations issued *mid-staggering*), and key load balance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "dex/dht.h"
+#include "dex/network.h"
+#include "support/prng.h"
+
+using dex::DexNetwork;
+using dex::Dht;
+using dex::Params;
+
+namespace {
+
+Params mode(dex::RecoveryMode m, std::uint64_t seed) {
+  Params p;
+  p.seed = seed;
+  p.mode = m;
+  return p;
+}
+
+}  // namespace
+
+TEST(Dht, PutGetRoundTrip) {
+  DexNetwork net(32, mode(dex::RecoveryMode::WorstCase, 61));
+  Dht dht(net);
+  for (std::uint64_t k = 0; k < 100; ++k) dht.put(k, k * k);
+  EXPECT_EQ(dht.size(), 100u);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const auto v = dht.get(k);
+    ASSERT_TRUE(v.has_value()) << k;
+    EXPECT_EQ(*v, k * k);
+  }
+  EXPECT_FALSE(dht.get(1234567).has_value());
+}
+
+TEST(Dht, OverwriteAndErase) {
+  DexNetwork net(16, mode(dex::RecoveryMode::WorstCase, 62));
+  Dht dht(net);
+  dht.put(7, 1);
+  dht.put(7, 2);
+  EXPECT_EQ(dht.size(), 1u);
+  EXPECT_EQ(dht.get(7), 2u);
+  EXPECT_TRUE(dht.erase(7));
+  EXPECT_FALSE(dht.erase(7));
+  EXPECT_EQ(dht.size(), 0u);
+  EXPECT_FALSE(dht.get(7).has_value());
+}
+
+TEST(Dht, OperationCostIsLogarithmic) {
+  DexNetwork net(256, mode(dex::RecoveryMode::WorstCase, 63));
+  Dht dht(net);
+  const double limit = 4.0 * std::log2(static_cast<double>(net.p()));
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    dht.put(k, k);
+    EXPECT_LT(static_cast<double>(dht.last_cost().messages), limit);
+    (void)dht.get(k);
+    EXPECT_LT(static_cast<double>(dht.last_cost().messages), 2 * limit);
+  }
+}
+
+TEST(Dht, SurvivesChurn) {
+  DexNetwork net(32, mode(dex::RecoveryMode::WorstCase, 64));
+  Dht dht(net);
+  dex::support::Rng rng(1);
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    dht.put(k, k + 1000);
+    oracle[k] = k + 1000;
+  }
+  for (int t = 0; t < 400; ++t) {
+    const auto nodes = net.alive_nodes();
+    if (rng.chance(0.5) || net.n() < 16) {
+      net.insert(nodes[rng.below(nodes.size())]);
+    } else {
+      net.remove(nodes[rng.below(nodes.size())]);
+    }
+    if (t % 10 == 0) {
+      const std::uint64_t k = rng.below(64);
+      const auto v = dht.get(k);
+      ASSERT_TRUE(v.has_value()) << "lost key " << k << " at step " << t;
+      EXPECT_EQ(*v, oracle[k]);
+    }
+  }
+  for (const auto& [k, v] : oracle) EXPECT_EQ(dht.get(k), v);
+}
+
+TEST(Dht, SurvivesAmortizedRebuilds) {
+  DexNetwork net(16, mode(dex::RecoveryMode::Amortized, 65));
+  Dht dht(net);
+  for (std::uint64_t k = 0; k < 50; ++k) dht.put(k, 7 * k);
+  const auto e0 = net.cycle_epoch();
+  net.force_simplified_inflate();
+  ASSERT_GT(net.cycle_epoch(), e0);
+  for (std::uint64_t k = 0; k < 50; ++k) EXPECT_EQ(dht.get(k), 7 * k);
+  EXPECT_GE(dht.rehash_count(), 1u);
+  EXPECT_GT(dht.rehash_messages(), 0u);
+}
+
+TEST(Dht, LookupsDuringStaggeredRebuild) {
+  DexNetwork net(32, mode(dex::RecoveryMode::WorstCase, 66));
+  Dht dht(net);
+  dex::support::Rng rng(2);
+  for (std::uint64_t k = 0; k < 40; ++k) dht.put(k, k ^ 0xabc);
+  // Drive into a staggered inflation and query mid-flight.
+  std::size_t mid_flight_checks = 0;
+  for (int t = 0; t < 6000 && mid_flight_checks < 30; ++t) {
+    const auto nodes = net.alive_nodes();
+    net.insert(nodes[rng.below(nodes.size())]);
+    if (net.staggered_active()) {
+      const std::uint64_t k = rng.below(40);
+      ASSERT_EQ(dht.get(k), k ^ 0xabc) << "mid-staggering lookup failed";
+      ++mid_flight_checks;
+    }
+  }
+  EXPECT_GE(mid_flight_checks, 30u) << "staggering never observed";
+  for (std::uint64_t k = 0; k < 40; ++k) EXPECT_EQ(dht.get(k), k ^ 0xabc);
+}
+
+TEST(Dht, KeysAreLoadBalanced) {
+  DexNetwork net(64, mode(dex::RecoveryMode::WorstCase, 67));
+  Dht dht(net);
+  const std::size_t kKeys = 6400;
+  for (std::uint64_t k = 0; k < kKeys; ++k) dht.put(k, k);
+  const auto per_node = dht.items_per_alive_node();
+  ASSERT_EQ(per_node.size(), net.n());
+  const double mean = static_cast<double>(kKeys) / static_cast<double>(net.n());
+  std::size_t max_items = 0;
+  for (auto c : per_node) max_items = std::max(max_items, c);
+  // Loads are within a small factor of the mean (4ζ vertices max per node,
+  // uniform hash): generous factor 6 for randomness at this scale.
+  EXPECT_LT(static_cast<double>(max_items), 6.0 * mean);
+}
+
+TEST(Dht, OriginParameterIsRespected) {
+  DexNetwork net(32, mode(dex::RecoveryMode::WorstCase, 68));
+  Dht dht(net);
+  const auto nodes = net.alive_nodes();
+  dht.put(1, 10, nodes[3]);
+  EXPECT_EQ(dht.get(1, nodes[5]), 10u);
+  // Dead origin falls back to the coordinator.
+  net.remove(nodes[3]);
+  EXPECT_EQ(dht.get(1, nodes[3]), 10u);
+}

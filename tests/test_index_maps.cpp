@@ -1,0 +1,144 @@
+// The inflation/deflation vertex correspondences (Eqs. 6–7 and §4.2.2) —
+// Lemma 4(b) and Lemma 6(b) as executable property tests, swept over many
+// prime pairs (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dex/index_maps.h"
+#include "support/mathutil.h"
+
+using dex::DeflationMap;
+using dex::InflationMap;
+using dex::Vertex;
+
+TEST(InflationMap, SmallExample) {
+  // p=5 -> q in (20,40): 23. alpha = 23/5 = 4.6.
+  const InflationMap m(5, 23);
+  // Clouds partition {0..22}: x=0 -> ceil(0)=0..ceil(4.6)-1=4 (5 vertices).
+  EXPECT_EQ(m.cloud(0), (std::vector<Vertex>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(m.cloud(1), (std::vector<Vertex>{5, 6, 7, 8, 9}));   // ceil(4.6)=5..ceil(9.2)-1=9
+  EXPECT_EQ(m.cloud(2), (std::vector<Vertex>{10, 11, 12, 13}));  // 10..13
+  EXPECT_EQ(m.cloud(4), (std::vector<Vertex>{19, 20, 21, 22}));
+}
+
+TEST(InflationMap, ParentInvertsChild) {
+  const InflationMap m(101, dex::support::inflation_prime(101));
+  for (Vertex x = 0; x < 101; ++x) {
+    for (std::uint64_t j = 0; j <= m.c(x); ++j) {
+      EXPECT_EQ(m.parent(m.child(x, j)), x) << x << "," << j;
+    }
+  }
+}
+
+
+
+class InflationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Lemma 4(b): the clouds form a partition of Z_q — every new vertex has
+// exactly one generator; cloud sizes are in [4, 8].
+TEST_P(InflationSweep, CloudsPartitionNewVertexSet) {
+  const std::uint64_t p = GetParam();
+  const std::uint64_t q = dex::support::inflation_prime(p);
+  const InflationMap m(p, q);
+  EXPECT_LE(m.zeta(), 8u);
+  std::vector<int> covered(q, 0);
+  for (Vertex x = 0; x < p; ++x) {
+    const auto cloud = m.cloud(x);
+    EXPECT_GE(cloud.size(), 4u) << "x=" << x;  // alpha > 4
+    EXPECT_LE(cloud.size(), 8u) << "x=" << x;  // alpha < 8, zeta bound
+    for (Vertex y : cloud) {
+      ASSERT_LT(y, q);
+      ++covered[y];
+      EXPECT_EQ(m.parent(y), x);
+    }
+  }
+  for (Vertex y = 0; y < q; ++y) EXPECT_EQ(covered[y], 1) << "y=" << y;
+}
+
+// Clouds are contiguous runs in label order (used by the staggered build's
+// "active group" argument).
+TEST_P(InflationSweep, CloudsAreContiguousAndOrdered) {
+  const std::uint64_t p = GetParam();
+  const InflationMap m(p, dex::support::inflation_prime(p));
+  Vertex expected_next = 0;
+  for (Vertex x = 0; x < p; ++x) {
+    const auto cloud = m.cloud(x);
+    EXPECT_EQ(cloud.front(), expected_next);
+    for (std::size_t i = 1; i < cloud.size(); ++i) {
+      EXPECT_EQ(cloud[i], cloud[i - 1] + 1);
+    }
+    expected_next = cloud.back() + 1;
+  }
+  EXPECT_EQ(expected_next, m.p_new());
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimeSweep, InflationSweep,
+                         ::testing::Values(5, 7, 11, 23, 101, 499, 1009,
+                                           4099));
+
+class DeflationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Lemma 6(b): dominating vertices biject with Z_q.
+TEST_P(DeflationSweep, DominatingVerticesBijectWithNewSet) {
+  const std::uint64_t p = GetParam();
+  const std::uint64_t q = dex::support::deflation_prime(p);
+  const DeflationMap m(p, q);
+  std::vector<int> hit(q, 0);
+  std::uint64_t dominating_count = 0;
+  for (Vertex x = 0; x < p; ++x) {
+    const Vertex y = m.image(x);
+    ASSERT_LT(y, q);
+    if (m.is_dominating(x)) {
+      ++dominating_count;
+      ++hit[y];
+      EXPECT_EQ(m.dominating(y), x);
+    }
+  }
+  EXPECT_EQ(dominating_count, q);
+  for (Vertex y = 0; y < q; ++y) EXPECT_EQ(hit[y], 1) << y;
+}
+
+// Deflation clouds partition the old vertex set with sizes in [4, 8].
+TEST_P(DeflationSweep, CloudsPartitionOldVertexSet) {
+  const std::uint64_t p = GetParam();
+  const std::uint64_t q = dex::support::deflation_prime(p);
+  const DeflationMap m(p, q);
+  std::vector<int> covered(p, 0);
+  for (Vertex y = 0; y < q; ++y) {
+    const auto cloud = m.cloud(y);
+    EXPECT_GE(cloud.size(), 4u) << "y=" << y;
+    EXPECT_LE(cloud.size(), 8u) << "y=" << y;
+    EXPECT_EQ(cloud.front(), m.dominating(y));
+    for (Vertex x : cloud) {
+      ASSERT_LT(x, p);
+      ++covered[x];
+      EXPECT_EQ(m.image(x), y);
+    }
+  }
+  for (Vertex x = 0; x < p; ++x) EXPECT_EQ(covered[x], 1) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimeSweep, DeflationSweep,
+                         ::testing::Values(61, 101, 499, 1009, 4099, 16411));
+
+// Round trip: inflating then deflating restores a cycle of comparable size
+// (not identical — the primes differ — but within the paper's envelopes).
+TEST(IndexMaps, InflateDeflateEnvelope) {
+  for (std::uint64_t p : {101ULL, 1009ULL}) {
+    const std::uint64_t up = dex::support::inflation_prime(p);
+    const std::uint64_t down = dex::support::deflation_prime(up);
+    EXPECT_GT(down, up / 8);
+    EXPECT_LT(down, up / 4);
+    EXPECT_GT(down, p / 2);  // 4p/8
+    EXPECT_LT(down, 2 * p);  // 8p/4
+  }
+}
+
+TEST(IndexMaps, ConstructorRejectsOutOfRangePrimes) {
+  EXPECT_DEATH(InflationMap(100, 399), "inflation");   // 399 < 4*100
+  EXPECT_DEATH(InflationMap(100, 801), "inflation");   // 801 > 8*100
+  EXPECT_DEATH(DeflationMap(100, 26), "deflation");    // 26 > 100/4
+  EXPECT_DEATH(DeflationMap(100, 12), "deflation");    // 12 < 100/8
+}

@@ -1,0 +1,172 @@
+// Quantitative lemma measurements: the statements the paper proves
+// asymptotically, checked as measured frequencies/distributions —
+// Lemma 2's walk success probability, the walk mixing behind it (Gillman's
+// concentration), Fact 1 (contraction does not increase distances), and
+// Claim 4.3's post-rebuild set sizes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "dex/network.h"
+#include "graph/bfs.h"
+#include "support/prng.h"
+
+using dex::DexNetwork;
+using dex::Params;
+
+// Lemma 2(a): with |Spare| >= θn, a Θ(log n)-walk finds a Spare node w.h.p.
+// Measure the empirical success rate of raw (no-retry) walks.
+TEST(LemmaMeasurements, Lemma2WalkSuccessRate) {
+  Params prm;
+  prm.seed = 301;
+  DexNetwork net(256, prm);  // fresh network: every node is in Spare
+  auto& rng = net.rng();
+  const std::uint64_t len = 4 * 8;  // ~4 log2(256)
+  std::size_t hits = 0;
+  const std::size_t kTrials = 500;
+  std::vector<std::uint64_t> ports;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    dex::NodeId cur = static_cast<dex::NodeId>(rng.below(256));
+    bool found = net.mapping().in_spare(cur);
+    for (std::uint64_t s = 0; s < len && !found; ++s) {
+      net.ports_of(cur, ports);
+      cur = static_cast<dex::NodeId>(ports[rng.below(ports.size())]);
+      found = net.mapping().in_spare(cur);
+    }
+    if (found) ++hits;
+  }
+  // With Spare = everyone, success must be certain; this calibrates the
+  // harness itself.
+  EXPECT_EQ(hits, kTrials);
+}
+
+// The interesting regime: drain Spare to a small fraction and check the
+// walk still succeeds at a rate consistent with Lemma 2 (w.h.p., so >> the
+// θ fraction itself).
+TEST(LemmaMeasurements, Lemma2SuccessWithScarceSpare) {
+  Params prm;
+  prm.seed = 302;
+  prm.mode = dex::RecoveryMode::WorstCase;
+  prm.theta = 1.0 / 545.0;  // paper constant: no rebuilds interfere
+  DexNetwork net(64, prm);
+  auto& rng = net.rng();
+  // Insert until Spare is scarce (most loads drained to 1).
+  while (net.mapping().spare_count() >
+         std::max<std::uint64_t>(net.n() / 8, 2)) {
+    net.insert(net.alive_nodes()[rng.below(net.n())]);
+  }
+  const double spare_frac = static_cast<double>(net.mapping().spare_count()) /
+                            static_cast<double>(net.n());
+  const std::uint64_t len =
+      dex::support::scaled_log(4.0, net.n());
+  std::size_t hits = 0;
+  const std::size_t kTrials = 400;
+  std::vector<std::uint64_t> ports;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    dex::NodeId cur = net.alive_nodes()[rng.below(net.n())];
+    bool found = net.mapping().in_spare(cur);
+    for (std::uint64_t s = 0; s < len && !found; ++s) {
+      net.ports_of(cur, ports);
+      cur = static_cast<dex::NodeId>(ports[rng.below(ports.size())]);
+      found = net.mapping().in_spare(cur);
+    }
+    if (found) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / kTrials;
+  // A Θ(log n) walk on an expander visits Ω(log n) near-fresh nodes; with a
+  // ~12% target set the success rate should be far above the single-sample
+  // probability and well above 1/2.
+  EXPECT_GT(rate, 0.80) << "spare fraction was " << spare_frac;
+}
+
+// Gillman-style mixing: the endpoint distribution of a Θ(log n) walk is
+// close to the degree-proportional stationary distribution.
+TEST(LemmaMeasurements, WalkEndpointDistributionMixes) {
+  Params prm;
+  prm.seed = 303;
+  DexNetwork net(64, prm);
+  auto& rng = net.rng();
+  const auto g = net.snapshot();
+  std::uint64_t degree_sum = 0;
+  for (auto u : net.alive_nodes()) degree_sum += g.degree(u);
+
+  const std::uint64_t len = dex::support::scaled_log(4.0, 64);
+  std::map<dex::NodeId, std::size_t> counts;
+  const std::size_t kTrials = 20000;
+  std::vector<std::uint64_t> ports;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    dex::NodeId cur = 0;  // fixed start: worst case for mixing
+    for (std::uint64_t s = 0; s < len; ++s) {
+      net.ports_of(cur, ports);
+      cur = static_cast<dex::NodeId>(ports[rng.below(ports.size())]);
+    }
+    ++counts[cur];
+  }
+  double tv = 0;
+  for (auto u : net.alive_nodes()) {
+    const double pi = static_cast<double>(g.degree(u)) /
+                      static_cast<double>(degree_sum);
+    const double freq =
+        static_cast<double>(counts[u]) / static_cast<double>(kTrials);
+    tv += std::abs(pi - freq);
+  }
+  tv /= 2;
+  EXPECT_LT(tv, 0.10) << "walk endpoint distribution far from stationary";
+}
+
+// Fact 1: the virtual mapping is a metric map — real-network distances
+// never exceed virtual distances.
+TEST(LemmaMeasurements, Fact1ContractionShrinksDistances) {
+  Params prm;
+  prm.seed = 304;
+  DexNetwork net(32, prm);
+  const auto g = net.snapshot();
+  const auto mask = net.alive_mask();
+  dex::support::Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    const dex::Vertex a = rng.below(net.p());
+    const dex::Vertex b = rng.below(net.p());
+    const auto real_dist = dex::graph::bfs_distances(
+        g, net.mapping().owner(a), mask)[net.mapping().owner(b)];
+    EXPECT_LE(real_dist, net.cycle().distance(a, b))
+        << "virtual " << a << "->" << b;
+  }
+}
+
+// Claim 4.3 (post-inflation): right after a type-2 inflation, Low contains
+// (almost) everyone — at least (θ + 1/2)·n.
+TEST(LemmaMeasurements, Claim43LowIsLargeAfterInflation) {
+  Params prm;
+  prm.seed = 305;
+  prm.mode = dex::RecoveryMode::Amortized;
+  DexNetwork net(32, prm);
+  dex::support::Rng rng(2);
+  while (net.inflation_count() == 0) {
+    net.insert(net.alive_nodes()[rng.below(net.n())]);
+  }
+  const double frac = static_cast<double>(net.mapping().low_count()) /
+                      static_cast<double>(net.n());
+  EXPECT_GT(frac, prm.theta + 0.5);
+}
+
+// Claim 4.3 (post-deflation): right after a deflation, Spare has at least
+// (θ + 1/(4ζ))·n nodes.
+TEST(LemmaMeasurements, Claim43SpareIsLargeAfterDeflation) {
+  Params prm;
+  prm.seed = 306;
+  prm.mode = dex::RecoveryMode::Amortized;
+  DexNetwork net(32, prm);
+  dex::support::Rng rng(3);
+  while (net.inflation_count() == 0) {
+    net.insert(net.alive_nodes()[rng.below(net.n())]);
+  }
+  while (net.deflation_count() == 0 && net.n() > 4) {
+    net.remove(net.alive_nodes()[rng.below(net.n())]);
+  }
+  ASSERT_GE(net.deflation_count(), 1u);
+  const double frac = static_cast<double>(net.mapping().spare_count()) /
+                      static_cast<double>(net.n());
+  EXPECT_GT(frac, prm.theta + 1.0 / (4.0 * 8.0));
+}

@@ -1,0 +1,123 @@
+// VirtualMapping (Definitions 2–3): ownership, transfers, load bookkeeping,
+// and the incrementally maintained |Spare| / |Low| counters (Eqs. 1–2).
+
+#include <gtest/gtest.h>
+
+#include "dex/mapping.h"
+#include "support/prng.h"
+
+using dex::kInvalidNode;
+using dex::Vertex;
+using dex::VirtualMapping;
+
+namespace {
+
+VirtualMapping round_robin(std::uint64_t p, std::size_t n,
+                           std::uint64_t low_threshold = 16) {
+  VirtualMapping m(p, n, low_threshold);
+  for (Vertex z = 0; z < p; ++z)
+    m.assign(z, static_cast<dex::NodeId>(z % n));
+  return m;
+}
+
+}  // namespace
+
+TEST(Mapping, AssignBuildsSurjectiveMap) {
+  auto m = round_robin(23, 7);
+  EXPECT_TRUE(m.audit());
+  for (Vertex z = 0; z < 23; ++z) EXPECT_EQ(m.owner(z), z % 7);
+  EXPECT_EQ(m.load(0), 4u);
+  EXPECT_EQ(m.load(6), 3u);
+}
+
+TEST(Mapping, SpareAndLowCountsAtConstruction) {
+  auto m = round_robin(23, 7);
+  EXPECT_EQ(m.spare_count(), 7u);  // all loads in {3,4} >= 2
+  EXPECT_EQ(m.low_count(), 7u);    // all loads <= 16
+}
+
+TEST(Mapping, TransferMovesOwnership) {
+  auto m = round_robin(23, 7);
+  const auto changes = m.transfer(0, 6);
+  EXPECT_EQ(changes, 6u);
+  EXPECT_EQ(m.owner(0), 6u);
+  EXPECT_EQ(m.load(0), 3u);
+  EXPECT_EQ(m.load(6), 4u);
+  EXPECT_TRUE(m.audit());
+}
+
+TEST(Mapping, SelfTransferIsFree) {
+  auto m = round_robin(23, 7);
+  EXPECT_EQ(m.transfer(0, 0), 0u);
+  EXPECT_TRUE(m.audit());
+}
+
+TEST(Mapping, SpareCountTracksLoadBoundary) {
+  VirtualMapping m(5, 5, 16);
+  for (Vertex z = 0; z < 5; ++z) m.assign(z, static_cast<dex::NodeId>(z));
+  EXPECT_EQ(m.spare_count(), 0u);  // every load is 1
+  m.transfer(0, 1);                // node 1 now load 2
+  EXPECT_EQ(m.spare_count(), 1u);
+  m.transfer(0, 2);                // back to all-1... node 2 load 2
+  EXPECT_EQ(m.spare_count(), 1u);
+  m.transfer(2, 2);                // self, no change
+  EXPECT_EQ(m.spare_count(), 1u);
+  EXPECT_TRUE(m.audit());
+}
+
+TEST(Mapping, LowCountTracksThreshold) {
+  VirtualMapping m(40, 4, 8);  // low threshold 8
+  for (Vertex z = 0; z < 40; ++z)
+    m.assign(z, static_cast<dex::NodeId>(z % 4));  // loads 10 > 8
+  EXPECT_EQ(m.low_count(), 0u);
+  // Drain node 0 below the threshold.
+  std::vector<Vertex> at0 = m.sim(0);
+  m.transfer(at0[0], 1);
+  m.transfer(at0[1], 1);
+  EXPECT_EQ(m.load(0), 8u);
+  EXPECT_EQ(m.low_count(), 1u);
+  EXPECT_TRUE(m.audit());
+}
+
+TEST(Mapping, ZeroLoadNodesAreNeitherSpareNorLow) {
+  VirtualMapping m(4, 3, 16);
+  m.assign(0, 0);
+  m.assign(1, 0);
+  m.assign(2, 0);
+  m.assign(3, 1);
+  // Node 2 has load 0.
+  EXPECT_FALSE(m.in_spare(2));
+  EXPECT_FALSE(m.in_low(2));
+  EXPECT_EQ(m.low_count(), 2u);
+  EXPECT_EQ(m.spare_count(), 1u);
+}
+
+TEST(Mapping, ManyTransfersKeepPositionsCoherent) {
+  auto m = round_robin(101, 10);
+  dex::support::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Vertex z = rng.below(101);
+    const auto to = static_cast<dex::NodeId>(rng.below(10));
+    m.transfer(z, to);
+  }
+  EXPECT_TRUE(m.audit());
+  // Total load is conserved.
+  std::uint64_t total = 0;
+  for (dex::NodeId u = 0; u < 10; ++u) total += m.load(u);
+  EXPECT_EQ(total, 101u);
+}
+
+TEST(Mapping, EnsureCapacityGrows) {
+  auto m = round_robin(23, 7);
+  m.ensure_node_capacity(20);
+  EXPECT_EQ(m.node_capacity(), 20u);
+  m.transfer(0, 15);
+  EXPECT_EQ(m.owner(0), 15u);
+  EXPECT_TRUE(m.audit());
+}
+
+TEST(Mapping, DoubleAssignAborts) {
+  VirtualMapping m(4, 2, 16);
+  m.assign(0, 0);
+  EXPECT_DEATH(m.assign(0, 1), "already owned");
+}

@@ -1,0 +1,121 @@
+// Unit tests for the number-theoretic substrate (support/mathutil.h): the
+// p-cycle family and the inflation/deflation prime search depend on these
+// being exactly right.
+
+#include <gtest/gtest.h>
+
+#include "support/mathutil.h"
+
+namespace ds = dex::support;
+
+TEST(MathUtil, MulmodMatchesNative) {
+  EXPECT_EQ(ds::mulmod(7, 9, 13), (7ULL * 9) % 13);
+  EXPECT_EQ(ds::mulmod(0, 9, 13), 0u);
+}
+
+TEST(MathUtil, MulmodHandlesOverflow) {
+  const std::uint64_t big = 0x7fffffffffffffffULL;
+  // (2^63-1)^2 mod (2^63-1) == 0.
+  EXPECT_EQ(ds::mulmod(big, big, big), 0u);
+  // Against a 61-bit Mersenne prime with known value:
+  const std::uint64_t m = (1ULL << 61) - 1;
+  EXPECT_EQ(ds::mulmod(m - 1, m - 1, m), 1u);  // (-1)^2 = 1 mod m
+}
+
+TEST(MathUtil, Powmod) {
+  EXPECT_EQ(ds::powmod(2, 10, 1000), 24u);
+  EXPECT_EQ(ds::powmod(3, 0, 7), 1u);
+  EXPECT_EQ(ds::powmod(5, 1, 7), 5u);
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(ds::powmod(2, 1'000'002, 1'000'003), 1u);
+}
+
+TEST(MathUtil, PrimalitySmall) {
+  const std::vector<std::uint64_t> primes{2,  3,  5,  7,  11, 13, 17,
+                                          19, 23, 29, 31, 37, 41};
+  for (auto p : primes) EXPECT_TRUE(ds::is_prime(p)) << p;
+  for (std::uint64_t c : {0ULL, 1ULL, 4ULL, 9ULL, 15ULL, 21ULL, 25ULL, 27ULL,
+                          33ULL, 35ULL, 39ULL}) {
+    EXPECT_FALSE(ds::is_prime(c)) << c;
+  }
+}
+
+TEST(MathUtil, PrimalityAgainstSieve) {
+  const auto sieve = ds::primes_up_to(10'000);
+  std::size_t idx = 0;
+  for (std::uint64_t n = 0; n <= 10'000; ++n) {
+    const bool expect = idx < sieve.size() && sieve[idx] == n;
+    if (expect) ++idx;
+    EXPECT_EQ(ds::is_prime(n), expect) << n;
+  }
+}
+
+TEST(MathUtil, PrimalityLarge) {
+  EXPECT_TRUE(ds::is_prime((1ULL << 61) - 1));        // Mersenne prime
+  EXPECT_FALSE(ds::is_prime((1ULL << 61) - 3));
+  EXPECT_TRUE(ds::is_prime(1'000'000'007ULL));
+  EXPECT_TRUE(ds::is_prime(1'000'000'009ULL));
+  EXPECT_FALSE(ds::is_prime(1'000'000'007ULL * 3));
+}
+
+TEST(MathUtil, ModinvRoundTrip) {
+  for (std::uint64_t p : {5ULL, 23ULL, 101ULL, 4099ULL}) {
+    for (std::uint64_t a = 1; a < p; ++a) {
+      auto inv = ds::modinv(a, p);
+      ASSERT_TRUE(inv.has_value());
+      EXPECT_EQ(ds::mulmod(a, *inv, p), 1u) << a << " mod " << p;
+      EXPECT_LT(*inv, p);
+    }
+  }
+}
+
+TEST(MathUtil, ModinvNonCoprime) {
+  EXPECT_FALSE(ds::modinv(6, 9).has_value());
+  EXPECT_FALSE(ds::modinv(0, 7).has_value());
+}
+
+TEST(MathUtil, InflationPrimeInRange) {
+  for (std::uint64_t p : {5ULL, 7ULL, 23ULL, 101ULL, 1009ULL, 65537ULL}) {
+    const auto q = ds::inflation_prime(p);
+    EXPECT_GT(q, 4 * p);
+    EXPECT_LT(q, 8 * p);
+    EXPECT_TRUE(ds::is_prime(q));
+  }
+}
+
+TEST(MathUtil, DeflationPrimeInRange) {
+  for (std::uint64_t p : {61ULL, 101ULL, 1009ULL, 65537ULL}) {
+    const auto q = ds::deflation_prime(p);
+    EXPECT_GT(q, p / 8);
+    EXPECT_LT(q, p / 4);
+    EXPECT_TRUE(ds::is_prime(q));
+  }
+}
+
+TEST(MathUtil, SmallestPrimeInEmptyRange) {
+  EXPECT_FALSE(ds::smallest_prime_in(24, 28).has_value());  // 25,26,27
+  auto r = ds::smallest_prime_in(24, 30);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 29u);
+}
+
+TEST(MathUtil, CeilDivMul) {
+  // ceil(7*3/4) = ceil(5.25) = 6.
+  EXPECT_EQ(ds::ceil_div_mul(7, 3, 4), 6u);
+  EXPECT_EQ(ds::ceil_div_mul(8, 3, 4), 6u);  // exact 6
+  EXPECT_EQ(ds::ceil_div_mul(1, 0, 9), 0u);
+}
+
+TEST(MathUtil, FloorLog2) {
+  EXPECT_EQ(ds::floor_log2(1), 0u);
+  EXPECT_EQ(ds::floor_log2(2), 1u);
+  EXPECT_EQ(ds::floor_log2(3), 1u);
+  EXPECT_EQ(ds::floor_log2(1024), 10u);
+  EXPECT_EQ(ds::floor_log2(1025), 10u);
+}
+
+TEST(MathUtil, ScaledLog) {
+  EXPECT_EQ(ds::scaled_log(1.0, 1), 1u);
+  EXPECT_GE(ds::scaled_log(4.0, 1000), 27u);  // 4*ln(1000) ≈ 27.6
+  EXPECT_LE(ds::scaled_log(4.0, 1000), 28u);
+}

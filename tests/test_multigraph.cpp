@@ -1,0 +1,99 @@
+// Multigraph substrate: port-list symmetry, multiplicity, self-loop
+// conventions (loop = 1 port), and mutation operations.
+
+#include <gtest/gtest.h>
+
+#include "graph/multigraph.h"
+
+using dex::graph::Multigraph;
+using dex::graph::NodeId;
+
+TEST(Multigraph, EmptyGraph) {
+  Multigraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.total_degree(), 0u);
+  EXPECT_TRUE(g.is_consistent());
+}
+
+TEST(Multigraph, AddNodesAndEdges) {
+  Multigraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.is_consistent());
+}
+
+TEST(Multigraph, ParallelEdges) {
+  Multigraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.multiplicity(0, 1), 3u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_TRUE(g.is_consistent());
+}
+
+TEST(Multigraph, SelfLoopCountsOnePort) {
+  Multigraph g(1);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.multiplicity(0, 0), 1u);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Multigraph, RemoveEdgeOneCopy) {
+  Multigraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.multiplicity(0, 1), 1u);
+  EXPECT_TRUE(g.remove_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_TRUE(g.is_consistent());
+}
+
+TEST(Multigraph, RemoveSelfLoop) {
+  Multigraph g(1);
+  g.add_edge(0, 0);
+  EXPECT_TRUE(g.remove_edge(0, 0));
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(Multigraph, IsolateNode) {
+  Multigraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 2);
+  g.isolate(0);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.degree(1), 1u);  // only the 1-2 edge remains
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_TRUE(g.is_consistent());
+}
+
+TEST(Multigraph, AddNodeGrows) {
+  Multigraph g(1);
+  const NodeId u = g.add_node();
+  EXPECT_EQ(u, 1u);
+  g.add_edge(0, u);
+  EXPECT_EQ(g.degree(u), 1u);
+}
+
+TEST(Multigraph, PortsSpanReflectsEdges) {
+  Multigraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  auto ports = g.ports(0);
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0], 1u);
+  EXPECT_EQ(ports[1], 2u);
+}

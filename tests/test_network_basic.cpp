@@ -1,0 +1,193 @@
+// DexNetwork fundamentals: initial construction (§4's G_0), single
+// insertions and deletions (Algorithms 4.2/4.3), derived-topology coherence,
+// and the paper's per-step invariants (balanced surjective mapping, constant
+// degree, connectivity).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dex/network.h"
+#include "graph/bfs.h"
+#include "graph/spectral.h"
+
+using dex::DexNetwork;
+using dex::NodeId;
+using dex::Params;
+
+namespace {
+
+Params amortized(std::uint64_t seed = 1) {
+  Params p;
+  p.seed = seed;
+  p.mode = dex::RecoveryMode::Amortized;
+  return p;
+}
+
+Params worst_case(std::uint64_t seed = 1) {
+  Params p;
+  p.seed = seed;
+  p.mode = dex::RecoveryMode::WorstCase;
+  return p;
+}
+
+}  // namespace
+
+TEST(NetworkBasic, InitialStateIsBalancedExpander) {
+  DexNetwork net(32, worst_case());
+  EXPECT_EQ(net.n(), 32u);
+  EXPECT_GT(net.p(), 4 * 32u);
+  EXPECT_LT(net.p(), 8 * 32u);
+  net.check_invariants();
+  const auto g = net.snapshot();
+  EXPECT_TRUE(dex::graph::is_connected(g, net.alive_mask()));
+  // Degrees are exactly 3 * load (Def. 2 discussion).
+  for (NodeId u : net.alive_nodes()) {
+    EXPECT_EQ(g.degree(u), 3 * net.mapping().load(u));
+  }
+}
+
+TEST(NetworkBasic, InitialMappingIsSurjective) {
+  DexNetwork net(10, worst_case());
+  for (dex::Vertex z = 0; z < net.p(); ++z) {
+    EXPECT_TRUE(net.alive(net.mapping().owner(z)));
+  }
+  for (NodeId u : net.alive_nodes()) {
+    EXPECT_GE(net.mapping().load(u), 1u);
+  }
+}
+
+TEST(NetworkBasic, CoordinatorIsOwnerOfVertexZero) {
+  DexNetwork net(16, worst_case());
+  EXPECT_EQ(net.coordinator(), net.mapping().owner(0));
+  const auto& cs = net.coordinator_state();
+  EXPECT_EQ(cs.n, 16u);
+  EXPECT_EQ(cs.spare, net.mapping().spare_count());
+  EXPECT_EQ(cs.low, net.mapping().low_count());
+}
+
+TEST(NetworkBasic, SingleInsertKeepsInvariants) {
+  DexNetwork net(16, worst_case(3));
+  const NodeId u = net.insert(0);
+  EXPECT_TRUE(net.alive(u));
+  EXPECT_EQ(net.n(), 17u);
+  EXPECT_GE(net.mapping().load(u), 1u);
+  net.check_invariants();
+  EXPECT_TRUE(dex::graph::is_connected(net.snapshot(), net.alive_mask()));
+}
+
+TEST(NetworkBasic, SingleDeleteKeepsInvariants) {
+  DexNetwork net(16, worst_case(4));
+  net.remove(5);
+  EXPECT_FALSE(net.alive(5));
+  EXPECT_EQ(net.n(), 15u);
+  EXPECT_EQ(net.mapping().load(5), 0u);
+  net.check_invariants();
+  EXPECT_TRUE(dex::graph::is_connected(net.snapshot(), net.alive_mask()));
+  // Every vertex previously at node 5 is owned by someone alive.
+  for (dex::Vertex z = 0; z < net.p(); ++z) {
+    EXPECT_TRUE(net.alive(net.mapping().owner(z)));
+  }
+}
+
+TEST(NetworkBasic, DeleteCoordinatorHandsOver) {
+  DexNetwork net(16, worst_case(5));
+  const NodeId coord = net.coordinator();
+  net.remove(coord);
+  net.check_invariants();
+  EXPECT_NE(net.coordinator(), coord);
+  EXPECT_TRUE(net.alive(net.coordinator()));
+  EXPECT_EQ(net.coordinator(), net.mapping().owner(0));
+}
+
+TEST(NetworkBasic, RepeatedCoordinatorDeletionSurvives) {
+  DexNetwork net(32, worst_case(6));
+  for (int i = 0; i < 12; ++i) {
+    net.remove(net.coordinator());
+    net.insert(net.coordinator());
+    net.check_invariants();
+  }
+  EXPECT_EQ(net.n(), 32u);
+}
+
+TEST(NetworkBasic, StepReportHasCosts) {
+  DexNetwork net(64, worst_case(7));
+  net.insert(1);
+  const auto& rep = net.last_report();
+  EXPECT_EQ(rep.op, dex::StepOp::Insert);
+  EXPECT_GT(rep.cost.messages, 0u);
+  EXPECT_GT(rep.cost.topology_changes, 0u);
+  EXPECT_EQ(rep.n, 65u);
+  net.remove(2);
+  EXPECT_EQ(net.last_report().op, dex::StepOp::Delete);
+}
+
+TEST(NetworkBasic, PortsMatchSnapshotDegrees) {
+  DexNetwork net(24, worst_case(8));
+  for (int i = 0; i < 30; ++i) net.insert(static_cast<NodeId>(i % 24));
+  const auto g = net.snapshot();
+  std::vector<std::uint64_t> ports;
+  for (NodeId u : net.alive_nodes()) {
+    net.ports_of(u, ports);
+    EXPECT_EQ(ports.size(), g.degree(u)) << "node " << u;
+  }
+}
+
+TEST(NetworkBasic, DegreeStaysConstantBounded) {
+  DexNetwork net(16, worst_case(9));
+  for (int i = 0; i < 200; ++i) net.insert(0);
+  const auto g = net.snapshot();
+  const std::uint64_t cap = 3 * 2 * net.params().max_load();  // 3 * 8ζ
+  for (NodeId u : net.alive_nodes()) {
+    EXPECT_LE(g.degree(u), cap);
+  }
+}
+
+TEST(NetworkBasic, AmortizedModeAlsoSane) {
+  DexNetwork net(16, amortized(10));
+  for (int i = 0; i < 50; ++i) net.insert(static_cast<NodeId>(i % 10));
+  for (int i = 0; i < 30; ++i) net.remove(net.alive_nodes().front());
+  net.check_invariants();
+  EXPECT_EQ(net.n(), 36u);
+  EXPECT_TRUE(dex::graph::is_connected(net.snapshot(), net.alive_mask()));
+}
+
+TEST(NetworkBasic, TinyNetworkChurn) {
+  // Degenerate sizes exercise the guards (n0 = 2 is the minimum).
+  DexNetwork net(2, worst_case(11));
+  for (int i = 0; i < 20; ++i) net.insert(net.alive_nodes().front());
+  for (int i = 0; i < 15; ++i) net.remove(net.alive_nodes().back());
+  net.check_invariants();
+  EXPECT_EQ(net.n(), 7u);
+}
+
+TEST(NetworkBasic, SpectralGapAboveCheegerFloor) {
+  DexNetwork net(48, worst_case(12));
+  for (int i = 0; i < 100; ++i) net.insert(static_cast<NodeId>(i % 48));
+  const auto spec = dex::graph::spectral_gap(net.snapshot(), net.alive_mask());
+  // Lemma 9(b): at least (1-λ)²/8 of the p-cycle family gap; the contracted
+  // graph in practice sits far above the p-cycle's own ~0.025.
+  EXPECT_GT(spec.gap, 0.02);
+}
+
+TEST(NetworkBasic, InsertReturnsFreshIds) {
+  DexNetwork net(8, worst_case(13));
+  const NodeId a = net.insert(0);
+  const NodeId b = net.insert(a);
+  EXPECT_NE(a, b);
+  EXPECT_GE(a, 8u);
+  EXPECT_TRUE(net.alive(a));
+  EXPECT_TRUE(net.alive(b));
+}
+
+TEST(NetworkBasic, RemoveDeadNodeAborts) {
+  DexNetwork net(8, worst_case(14));
+  net.remove(3);
+  EXPECT_DEATH(net.remove(3), "alive");
+}
+
+TEST(NetworkBasic, InsertOnDeadNodeAborts) {
+  DexNetwork net(8, worst_case(15));
+  net.remove(3);
+  EXPECT_DEATH(net.insert(3), "alive");
+}

@@ -1,0 +1,121 @@
+// Overlay services (services.h): sampling uniformity (the intro's "quickly
+// sample a random node"), broadcast reach/cost, and point-to-point routing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "dex/services.h"
+#include "support/prng.h"
+
+using dex::DexNetwork;
+using dex::Params;
+
+TEST(Services, SampleReturnsAliveNode) {
+  Params prm;
+  prm.seed = 5;
+  DexNetwork net(64, prm);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = dex::sample_node(net, 0);
+    EXPECT_TRUE(net.alive(s.node));
+    EXPECT_GT(s.cost.messages, 0u);
+  }
+}
+
+TEST(Services, SampleCostIsLogarithmic) {
+  Params prm;
+  prm.seed = 6;
+  DexNetwork net(1024, prm);
+  const double len = net.params().walk_factor * std::log(1024.0);
+  double total = 0;
+  double worst = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto s = dex::sample_node(net, 3);
+    total += static_cast<double>(s.cost.messages);
+    worst = std::max(worst, static_cast<double>(s.cost.messages));
+  }
+  // Expected cost: one full walk + ~load/4 short retries ≈ 3·len; the
+  // geometric tail stays within the 64-attempt cap.
+  EXPECT_LT(total / 60.0, 5.0 * len);
+  EXPECT_LT(worst, 20.0 * len);
+}
+
+TEST(Services, SampleIsNearUniform) {
+  // Chi-squared-flavoured check: over many samples from a fixed origin, no
+  // node is wildly over- or under-represented.
+  Params prm;
+  prm.seed = 7;
+  DexNetwork net(32, prm);
+  std::map<dex::NodeId, std::size_t> counts;
+  const std::size_t kSamples = 6400;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    ++counts[dex::sample_node(net, 0).node];
+  }
+  const double expect = static_cast<double>(kSamples) / 32.0;  // 200
+  for (const auto& [node, c] : counts) {
+    EXPECT_GT(static_cast<double>(c), 0.4 * expect) << "node " << node;
+    EXPECT_LT(static_cast<double>(c), 2.0 * expect) << "node " << node;
+  }
+  EXPECT_EQ(counts.size(), 32u);  // every node hit at least once
+}
+
+TEST(Services, BroadcastReachesEveryone) {
+  Params prm;
+  prm.seed = 8;
+  DexNetwork net(128, prm);
+  dex::support::Rng rng(1);
+  for (int t = 0; t < 60; ++t) {
+    const auto nodes = net.alive_nodes();
+    net.insert(nodes[rng.below(nodes.size())]);
+  }
+  const auto b = dex::broadcast(net, net.alive_nodes().front());
+  EXPECT_EQ(b.reached, net.n());
+  // Expander: rounds = eccentricity = O(log n).
+  EXPECT_LT(b.cost.rounds, 4 * std::log2(static_cast<double>(net.p())));
+  EXPECT_GT(b.cost.messages, net.n());  // every edge carries the message
+}
+
+TEST(Services, RouteDeliversWithLogHops) {
+  Params prm;
+  prm.seed = 9;
+  DexNetwork net(512, prm);
+  dex::support::Rng rng(2);
+  const auto nodes = net.alive_nodes();
+  const double limit = 3.0 * std::log2(static_cast<double>(net.p()));
+  for (int i = 0; i < 60; ++i) {
+    const auto a = nodes[rng.below(nodes.size())];
+    const auto b = nodes[rng.below(nodes.size())];
+    const auto r = dex::route(net, a, b);
+    EXPECT_TRUE(r.delivered);
+    EXPECT_LE(static_cast<double>(r.cost.rounds), limit);
+  }
+}
+
+TEST(Services, RouteToSelfIsFree) {
+  Params prm;
+  prm.seed = 10;
+  DexNetwork net(16, prm);
+  const auto r = dex::route(net, 3, 3);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.cost.messages, 0u);
+}
+
+TEST(Services, ServicesSurviveChurnAndRebuilds) {
+  Params prm;
+  prm.seed = 11;
+  prm.mode = dex::RecoveryMode::WorstCase;
+  DexNetwork net(32, prm);
+  dex::support::Rng rng(3);
+  for (int t = 0; t < 600; ++t) {
+    const auto nodes = net.alive_nodes();
+    net.insert(nodes[rng.below(nodes.size())]);
+    if (t % 25 == 0) {
+      const auto s = dex::sample_node(net, nodes[0]);
+      EXPECT_TRUE(net.alive(s.node));
+      const auto b = dex::broadcast(net, nodes[0]);
+      EXPECT_EQ(b.reached, net.n());
+    }
+  }
+  ASSERT_GE(net.inflation_count(), 1u);  // services crossed a rebuild
+}

@@ -1,0 +1,165 @@
+// The CONGEST simulator: token-engine random walks under per-edge
+// congestion (Lemma 11's model), the packet router (Cor. 3's model), the
+// flooding cost model (Algorithm 4.4), and cost meters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dex/pcycle.h"
+#include "graph/generators.h"
+#include "sim/flood.h"
+#include "sim/meters.h"
+#include "sim/router.h"
+#include "sim/token_engine.h"
+#include "support/mathutil.h"
+
+namespace s = dex::sim;
+namespace g = dex::graph;
+
+namespace {
+
+s::PortsFn cycle_ports(std::size_t n) {
+  return [n](std::uint64_t loc, std::vector<std::uint64_t>& out) {
+    out = {(loc + 1) % n, (loc + n - 1) % n};
+  };
+}
+
+}  // namespace
+
+TEST(Meters, StepWindows) {
+  s::CostMeter m;
+  m.add_rounds(3);
+  m.add_messages(10);
+  const auto step = m.end_step();
+  EXPECT_EQ(step.rounds, 3u);
+  EXPECT_EQ(step.messages, 10u);
+  m.add_topology(2);
+  EXPECT_EQ(m.step().topology_changes, 2u);
+  EXPECT_EQ(m.total().messages, 10u);
+  EXPECT_EQ(m.total().rounds, 3u);
+  m.reset();
+  EXPECT_EQ(m.total().messages, 0u);
+}
+
+TEST(TokenEngine, SingleTokenWalksExactSteps) {
+  dex::support::Rng rng(1);
+  std::vector<s::Token> tokens{{0, 10, 0, false}};
+  const auto res = s::run_walks(tokens, cycle_ports(8), rng, 1000);
+  EXPECT_TRUE(res.all_finished);
+  EXPECT_EQ(res.rounds, 10u);  // no congestion: one step per round
+  EXPECT_EQ(res.messages, 10u);
+  EXPECT_TRUE(res.tokens[0].finished);
+}
+
+TEST(TokenEngine, ZeroStepTokenFinishesImmediately) {
+  dex::support::Rng rng(2);
+  std::vector<s::Token> tokens{{5, 0, 0, false}};
+  const auto res = s::run_walks(tokens, cycle_ports(8), rng, 10);
+  EXPECT_TRUE(res.all_finished);
+  EXPECT_EQ(res.rounds, 0u);
+  EXPECT_EQ(res.tokens[0].location, 5u);
+}
+
+TEST(TokenEngine, CongestionDelaysButCompletes) {
+  // Many tokens crammed on a tiny cycle: edges serialize them.
+  dex::support::Rng rng(3);
+  std::vector<s::Token> tokens;
+  for (int i = 0; i < 32; ++i)
+    tokens.push_back({static_cast<std::uint64_t>(i % 4), 20, 0, false});
+  const auto res = s::run_walks(tokens, cycle_ports(4), rng, 100000);
+  EXPECT_TRUE(res.all_finished);
+  EXPECT_GT(res.rounds, 20u);  // congestion forced waiting
+  EXPECT_EQ(res.messages, 32u * 20u);
+}
+
+TEST(TokenEngine, RoundLimitLeavesUnfinished) {
+  dex::support::Rng rng(4);
+  std::vector<s::Token> tokens{{0, 1000, 0, false}};
+  const auto res = s::run_walks(tokens, cycle_ports(8), rng, 10);
+  EXPECT_FALSE(res.all_finished);
+  EXPECT_FALSE(res.tokens[0].finished);
+  EXPECT_EQ(res.rounds, 10u);
+}
+
+// Lemma 11: n parallel walks of length Θ(log n) on a bounded-degree
+// expander complete within O(log² n) rounds.
+TEST(TokenEngine, Lemma11ParallelWalksOnExpander) {
+  const dex::PCycle cyc(1009);
+  s::PortsFn ports = [&cyc](std::uint64_t loc,
+                            std::vector<std::uint64_t>& out) {
+    out.clear();
+    for (auto w : cyc.ports(loc)) out.push_back(w);
+  };
+  dex::support::Rng rng(5);
+  const std::uint64_t len = dex::support::scaled_log(2.0, 1009);
+  std::vector<s::Token> tokens;
+  for (std::uint64_t v = 0; v < 1009; ++v) tokens.push_back({v, len, 0, false});
+  const auto res = s::run_walks(tokens, ports, rng, 100000);
+  EXPECT_TRUE(res.all_finished);
+  const double log_n = std::log2(1009.0);
+  EXPECT_LT(static_cast<double>(res.rounds), 10.0 * log_n * log_n);
+}
+
+TEST(Router, SinglePacketFollowsPath) {
+  dex::support::Rng rng(6);
+  std::vector<s::Packet> pkts{{{0, 1, 2, 3}, 0}};
+  const auto res = s::route_packets(pkts, rng, 100);
+  EXPECT_TRUE(res.all_delivered);
+  EXPECT_EQ(res.rounds, 3u);
+  EXPECT_EQ(res.messages, 3u);
+}
+
+TEST(Router, SharedEdgeSerializes) {
+  dex::support::Rng rng(7);
+  // Three packets all need edge (0,1) first.
+  std::vector<s::Packet> pkts{{{0, 1, 2}, 0}, {{0, 1, 3}, 1}, {{0, 1, 4}, 2}};
+  const auto res = s::route_packets(pkts, rng, 100);
+  EXPECT_TRUE(res.all_delivered);
+  EXPECT_GE(res.rounds, 4u);  // 3 serial uses of (0,1) + final hops
+  EXPECT_EQ(res.messages, 6u);
+  EXPECT_GE(res.max_queue, 2u);
+}
+
+TEST(Router, EmptyPathPacketIsDeliveredInstantly) {
+  dex::support::Rng rng(8);
+  std::vector<s::Packet> pkts{{{42}, 0}};
+  const auto res = s::route_packets(pkts, rng, 10);
+  EXPECT_TRUE(res.all_delivered);
+  EXPECT_EQ(res.messages, 0u);
+}
+
+TEST(Router, PermutationOnPCycleIsPolylog) {
+  // Cor. 3-flavored check: one packet per vertex to a random permutation
+  // target, paths = shortest paths; rounds stay polylogarithmic.
+  const std::uint64_t p = 499;
+  const dex::PCycle cyc(p);
+  dex::support::Rng rng(9);
+  std::vector<std::uint64_t> perm(p);
+  for (std::uint64_t i = 0; i < p; ++i) perm[i] = i;
+  rng.shuffle(perm);
+  std::vector<s::Packet> pkts;
+  for (std::uint64_t i = 0; i < p; ++i) {
+    pkts.push_back({cyc.shortest_path(i, perm[i]), 0});
+  }
+  const auto res = s::route_packets(pkts, rng, 1000000);
+  EXPECT_TRUE(res.all_delivered);
+  const double lg = std::log2(static_cast<double>(p));
+  EXPECT_LT(static_cast<double>(res.rounds), 6.0 * lg * lg);
+}
+
+TEST(Flood, CostMatchesEccentricityAndEdges) {
+  const auto path = g::make_path(6);
+  const auto cost = s::flood_cost(path, 0);
+  EXPECT_EQ(cost.rounds, 10u);     // 2 * ecc(0) = 2*5
+  EXPECT_EQ(cost.messages, 20u);   // 2 * total degree (2*(2*5))
+  const auto mid = s::flood_cost(path, 3);
+  EXPECT_EQ(mid.rounds, 6u);       // 2 * 3
+}
+
+TEST(Flood, RespectsAliveMask) {
+  const auto path = g::make_path(6);
+  std::vector<bool> alive{true, true, true, false, false, false};
+  const auto cost = s::flood_cost(path, 0, alive);
+  EXPECT_EQ(cost.rounds, 4u);  // ecc within {0,1,2} = 2
+}
