@@ -14,6 +14,10 @@
 //     total-variation distance of sample_node()'s output from uniform, as a
 //     function of walk_factor — shows the mixing knee the paper's Θ(log n)
 //     choices rely on.
+//
+// The churn in (1) and (2) runs through the ScenarioRunner; DEX-specific
+// counters (walk retries, rebuild counts) are read off the DexOverlay's
+// underlying network via the runner's step observer.
 
 #include <cmath>
 #include <cstdio>
@@ -37,26 +41,27 @@ int main() {
       prm.mode = RecoveryMode::WorstCase;
       prm.walk_factor = wf;
       prm.max_walk_retries = 512;
-      DexNetwork net(512, prm);
-      support::Rng rng(7);
-      std::uint64_t retries = 0, msgs = 0, rounds = 0;
-      const std::size_t steps = 1000;
-      for (std::size_t s = 0; s < steps; ++s) {
-        const auto nodes = net.alive_nodes();
-        if (rng.chance(0.5) && net.n() > 256) {
-          net.remove(nodes[rng.below(nodes.size())]);
-        } else {
-          net.insert(nodes[rng.below(nodes.size())]);
-        }
-        retries += net.last_report().walk_retries;
-        msgs += net.last_report().cost.messages;
-        rounds += net.last_report().cost.rounds;
-      }
+      sim::DexOverlay overlay(512, prm);
+      adversary::RandomChurn strat(0.5);
+
+      sim::ScenarioSpec spec;
+      spec.seed = 7;
+      spec.steps = 1000;
+      spec.min_n = 256;
+      spec.max_n = 4096;
+      sim::ScenarioRunner runner(overlay, strat, spec);
+
+      std::uint64_t retries = 0;
+      runner.set_observer([&](const sim::StepRecord&, sim::HealingOverlay&) {
+        retries += overlay.net().last_report().walk_retries;
+      });
+      const auto res = runner.run();
+
       t.add_row({metrics::Table::num(wf, 1),
                  std::to_string(support::scaled_log(wf, 512)),
                  std::to_string(retries),
-                 metrics::Table::num(static_cast<double>(msgs) / steps, 1),
-                 metrics::Table::num(static_cast<double>(rounds) / steps, 1)});
+                 metrics::Table::num(res.messages.mean, 1),
+                 metrics::Table::num(res.rounds.mean, 1)});
     }
     t.print();
     std::printf(
@@ -74,20 +79,22 @@ int main() {
       prm.seed = 56;
       prm.mode = RecoveryMode::WorstCase;
       prm.theta = th;
-      DexNetwork net(128, prm);
-      support::Rng rng(8);
-      std::uint64_t max_msgs = 0, max_topo = 0;
-      while (net.n() < 1024) {
-        const auto nodes = net.alive_nodes();
-        net.insert(nodes[rng.below(nodes.size())]);
-        max_msgs = std::max(max_msgs, net.last_report().cost.messages);
-        max_topo =
-            std::max(max_topo, net.last_report().cost.topology_changes);
-      }
+      sim::DexOverlay overlay(128, prm);
+      adversary::InsertOnly strat;
+
+      sim::ScenarioSpec spec;
+      spec.seed = 8;
+      spec.steps = 1024 - 128;  // grow 128 -> 1024, one insert per step
+      spec.min_n = 4;
+      spec.max_n = 2048;
+      sim::ScenarioRunner runner(overlay, strat, spec);
+      const auto res = runner.run();
+
       t.add_row({metrics::Table::num(th, 4),
-                 std::to_string(net.inflation_count()),
-                 std::to_string(max_msgs), std::to_string(max_topo),
-                 std::to_string(net.forced_sync_type2())});
+                 std::to_string(overlay.net().inflation_count()),
+                 metrics::Table::num(res.messages.max, 0),
+                 metrics::Table::num(res.topology.max, 0),
+                 std::to_string(overlay.net().forced_sync_type2())});
     }
     t.print();
     std::printf(

@@ -1,105 +1,12 @@
 #pragma once
 
 /// \file bench_common.h
-/// Shared driver glue for the experiment binaries: adversary views over the
-/// different network types and a tiny churn driver.
-
-#include <vector>
+/// Umbrella include for the experiment binaries: the unified overlay
+/// interface, the scenario engine and the adversary strategies. Every
+/// backend is driven through sim::ScenarioRunner (or sim::make_view for
+/// ad-hoc stepping), so the per-backend view_of()/apply() overloads this
+/// header used to carry are gone.
 
 #include "adversary/adversary.h"
-#include "baselines/flood_rebuild.h"
-#include "baselines/law_siu.h"
-#include "baselines/random_flip.h"
-#include "dex/network.h"
-
-namespace dex::bench {
-
-inline adversary::AdversaryView view_of(DexNetwork& net) {
-  return adversary::AdversaryView{
-      [&net] { return net.n(); },
-      [&net] { return net.alive_nodes(); },
-      [&net] { return net.snapshot(); },
-      [&net] { return net.alive_mask(); },
-      [&net](NodeId u) { return static_cast<std::size_t>(net.total_load(u)); },
-      [&net] { return net.coordinator(); },
-      {},
-  };
-}
-
-inline adversary::AdversaryView view_of(baselines::LawSiuNetwork& net) {
-  adversary::AdversaryView v{
-      [&net] { return net.n(); },
-      [&net] { return net.alive_nodes(); },
-      [&net] { return net.snapshot(); },
-      [&net] { return net.alive_mask(); },
-      [&net](NodeId u) { return net.degree(u); },
-      [] { return graph::kInvalidNode; },
-      {},
-  };
-  v.snapshot_without = [&net](NodeId u) { return net.snapshot_without(u); };
-  return v;
-}
-
-inline adversary::AdversaryView view_of(baselines::FloodRebuildNetwork& net) {
-  return adversary::AdversaryView{
-      [&net] { return net.n(); },
-      [&net] { return net.alive_nodes(); },
-      [&net] { return net.snapshot(); },
-      [&net] { return net.alive_mask(); },
-      [&net](NodeId u) {
-        (void)u;
-        return net.max_degree();
-      },
-      [] { return graph::kInvalidNode; },
-      {},
-  };
-}
-
-inline adversary::AdversaryView view_of(baselines::RandomFlipNetwork& net) {
-  return adversary::AdversaryView{
-      [&net] { return net.n(); },
-      [&net] { return net.alive_nodes(); },
-      [&net] { return net.snapshot(); },
-      [&net] { return net.alive_mask(); },
-      [&net](NodeId u) { return net.snapshot().degree(u); },
-      [] { return graph::kInvalidNode; },
-      {},
-  };
-}
-
-inline void apply(DexNetwork& net, const adversary::ChurnAction& a) {
-  if (a.insert) {
-    net.insert(a.target);
-  } else {
-    net.remove(a.target);
-  }
-}
-
-inline void apply(baselines::LawSiuNetwork& net,
-                  const adversary::ChurnAction& a) {
-  if (a.insert) {
-    net.insert();
-  } else {
-    net.remove(a.target);
-  }
-}
-
-inline void apply(baselines::FloodRebuildNetwork& net,
-                  const adversary::ChurnAction& a) {
-  if (a.insert) {
-    net.insert();
-  } else {
-    net.remove(a.target);
-  }
-}
-
-inline void apply(baselines::RandomFlipNetwork& net,
-                  const adversary::ChurnAction& a) {
-  if (a.insert) {
-    net.insert();
-  } else {
-    net.remove(a.target);
-  }
-}
-
-}  // namespace dex::bench
+#include "sim/overlay.h"
+#include "sim/scenario.h"

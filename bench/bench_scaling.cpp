@@ -1,9 +1,9 @@
 // E3 — Theorem 1: per-step recovery costs in worst-case mode grow like
 // O(log n) rounds and messages with O(1) topology changes, per step, w.h.p.
-// Sweep n over powers of two, run adaptive churn, report p50/p99/max per
-// step and a least-squares fit of the mean cost against log2 n — the fit's
-// r² against log n tells us the growth law, and max topology changes must
-// stay flat.
+// Sweep n over powers of two, run adaptive churn through the ScenarioRunner,
+// report p50/p99/max per step and a least-squares fit of the mean cost
+// against log2 n — the fit's r² against log n tells us the growth law, and
+// max topology changes must stay flat.
 
 #include <cmath>
 #include <cstdio>
@@ -28,25 +28,25 @@ int main() {
     Params prm;
     prm.seed = 42 + n0;
     prm.mode = RecoveryMode::WorstCase;
-    DexNetwork net(n0, prm);
-    auto view = bench::view_of(net);
+    sim::DexOverlay overlay(n0, prm);
     adversary::RandomChurn strat(0.5);
-    support::Rng rng(7 * n0);
 
-    const std::size_t steps = 3000;
-    std::vector<double> rounds, msgs, topo;
+    sim::ScenarioSpec spec;
+    spec.seed = 7 * n0;
+    spec.steps = 3000;
+    spec.min_n = n0 / 2;
+    spec.max_n = n0 * 2;
+    sim::ScenarioRunner runner(overlay, strat, spec);
+
     std::uint64_t type2 = 0;
-    for (std::size_t s = 0; s < steps; ++s) {
-      bench::apply(net, strat.next(view, rng, n0 / 2, n0 * 2));
-      const auto& rep = net.last_report();
-      rounds.push_back(static_cast<double>(rep.cost.rounds));
-      msgs.push_back(static_cast<double>(rep.cost.messages));
-      topo.push_back(static_cast<double>(rep.cost.topology_changes));
-      if (rep.type2_event) ++type2;
-    }
-    const auto r = metrics::summarize(rounds);
-    const auto m = metrics::summarize(msgs);
-    const auto c = metrics::summarize(topo);
+    runner.set_observer([&](const sim::StepRecord&, sim::HealingOverlay&) {
+      if (overlay.net().last_report().type2_event) ++type2;
+    });
+    const auto res = runner.run();
+
+    const auto& r = res.rounds;
+    const auto& m = res.messages;
+    const auto& c = res.topology;
     t.add_row({std::to_string(n0), metrics::Table::num(r.p50, 0),
                metrics::Table::num(r.p99, 0), metrics::Table::num(r.max, 0),
                metrics::Table::num(m.p50, 0), metrics::Table::num(m.p99, 0),

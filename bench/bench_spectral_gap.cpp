@@ -10,37 +10,41 @@
 //     every deletion and keeps its deterministic floor. This regenerates
 //     the motivation of §1 and the "expansion guarantees" column of
 //     Table 1.
+//
+// Every series — any backend, any adversary — is produced by the same
+// ScenarioRunner call over the HealingOverlay interface.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.h"
-#include "graph/spectral.h"
 #include "metrics/table.h"
 
 using namespace dex;
 
 namespace {
 
-template <class Net>
-std::vector<double> gap_series(Net& net, adversary::Strategy& strat,
-                               std::size_t steps, std::size_t sample_every,
-                               std::uint64_t seed, std::size_t min_n,
-                               std::size_t max_n) {
-  auto view = bench::view_of(net);
-  support::Rng rng(seed);
+std::vector<double> gap_series(sim::HealingOverlay& overlay,
+                               adversary::Strategy& strat, std::size_t steps,
+                               std::size_t sample_every, std::uint64_t seed,
+                               std::size_t min_n, std::size_t max_n) {
+  sim::ScenarioSpec spec;
+  spec.seed = seed;
+  spec.steps = steps;
+  spec.min_n = min_n;
+  spec.max_n = max_n;
+  spec.gap_every = sample_every;
+  sim::ScenarioRunner runner(overlay, strat, spec);
+  const auto res = runner.run();
+
   std::vector<double> series;
-  for (std::size_t t = 0; t < steps; ++t) {
-    bench::apply(net, strat.next(view, rng, min_n, max_n));
-    if (t % sample_every == 0) {
-      series.push_back(
-          graph::spectral_gap(net.snapshot(), net.alive_mask()).gap);
-    }
+  for (const auto& rec : res.trace) {
+    if (rec.gap >= 0) series.push_back(rec.gap);
   }
   return series;
 }
 
-void print_series(const char* name, const std::vector<double>& s,
-                  std::size_t sample_every) {
+void print_series(const char* name, const std::vector<double>& s) {
   std::printf("%-28s", name);
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (i % 2 == 0) std::printf(" %5.3f", s[i]);
@@ -48,7 +52,6 @@ void print_series(const char* name, const std::vector<double>& s,
   double lo = 1.0;
   for (double g : s) lo = std::min(lo, g);
   std::printf("   [min %.3f]\n", lo);
-  (void)sample_every;
 }
 
 }  // namespace
@@ -65,35 +68,31 @@ int main() {
     Params prm;
     prm.seed = 11;
     prm.mode = RecoveryMode::WorstCase;
-    DexNetwork dex_wc(256, prm);
+    sim::DexOverlay overlay(256, prm);
     adversary::RandomChurn churn(0.52);
     print_series("DEX (worst-case mode)",
-                 gap_series(dex_wc, churn, kSteps, kEvery, 21, 128, 2048),
-                 kEvery);
+                 gap_series(overlay, churn, kSteps, kEvery, 21, 128, 2048));
   }
   {
     Params prm;
     prm.seed = 12;
     prm.mode = RecoveryMode::Amortized;
-    DexNetwork dex_am(256, prm);
+    sim::DexOverlay overlay(256, prm);
     adversary::RandomChurn churn(0.52);
     print_series("DEX (amortized mode)",
-                 gap_series(dex_am, churn, kSteps, kEvery, 22, 128, 2048),
-                 kEvery);
+                 gap_series(overlay, churn, kSteps, kEvery, 22, 128, 2048));
   }
   {
-    baselines::LawSiuNetwork ls(256, 3, 13);
+    sim::LawSiuOverlay overlay(256, 3, 13);
     adversary::RandomChurn churn(0.52);
     print_series("Law-Siu d=3 (random churn)",
-                 gap_series(ls, churn, kSteps, kEvery, 23, 128, 2048),
-                 kEvery);
+                 gap_series(overlay, churn, kSteps, kEvery, 23, 128, 2048));
   }
   {
-    baselines::RandomFlipNetwork rf(256, 6, 14);
+    sim::RandomFlipOverlay overlay(256, 6, 14);
     adversary::RandomChurn churn(0.52);
     print_series("Flip-chain d=6 (random churn)",
-                 gap_series(rf, churn, kSteps, kEvery, 24, 128, 2048),
-                 kEvery);
+                 gap_series(overlay, churn, kSteps, kEvery, 24, 128, 2048));
   }
 
   std::printf(
@@ -101,20 +100,19 @@ int main() {
       "deletion per step, 24 candidate victims evaluated per step) ===\n\n");
   const std::size_t kAttackSteps = 120;
   {
-    baselines::LawSiuNetwork ls(192, 2, 15);
+    sim::LawSiuOverlay overlay(192, 2, 15);
     adversary::GreedySpectralDeletion attack(24);
-    auto view = bench::view_of(ls);
     print_series("Law-Siu d=2 under attack",
-                 gap_series(ls, attack, kAttackSteps, 10, 25, 48, 4096), 10);
+                 gap_series(overlay, attack, kAttackSteps, 10, 25, 48, 4096));
   }
   {
     Params prm;
     prm.seed = 16;
     prm.mode = RecoveryMode::WorstCase;
-    DexNetwork net(192, prm);
+    sim::DexOverlay overlay(192, prm);
     adversary::GreedySpectralDeletion attack(24);
     print_series("DEX under the same attack",
-                 gap_series(net, attack, kAttackSteps, 10, 26, 48, 4096), 10);
+                 gap_series(overlay, attack, kAttackSteps, 10, 26, 48, 4096));
   }
 
   std::printf(

@@ -4,6 +4,9 @@
 // row quantifies §3's strawman; the skip-graph and SKIP+ rows reproduce the
 // paper's analytic citations (no OSS artifacts exist to measure — marked).
 //
+// Every measured row runs through the same HealingOverlay + ScenarioRunner
+// pipeline — zero backend-specific driver code.
+//
 // Paper's Table 1 row for DEX:   deterministic expansion, adaptive
 // adversary, O(1) max degree, O(log n) recovery, O(log n) messages,
 // O(1) topology changes. The measured numbers below must show: constant max
@@ -11,12 +14,10 @@
 // constant topology changes — against Law–Siu's O(d) degree and cheap-but-
 // probabilistic maintenance and flooding's Θ(n) messages.
 
-#include <cmath>
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.h"
-#include "graph/spectral.h"
-#include "metrics/stats.h"
 #include "metrics/table.h"
 
 using namespace dex;
@@ -31,41 +32,37 @@ struct Measured {
   double gap_min = 1.0;
 };
 
-template <class Net>
-Measured churn_run(Net& net, std::size_t steps, std::uint64_t seed,
-                   const std::function<sim::StepCost()>& last_cost,
-                   const std::function<std::size_t()>& max_degree) {
+Measured churn_run(sim::HealingOverlay& overlay, std::size_t steps,
+                   std::uint64_t seed) {
   adversary::RandomChurn strat(0.5);
-  auto view = bench::view_of(net);
-  support::Rng rng(seed);
-  std::vector<double> rounds, msgs, topo;
+  sim::ScenarioSpec spec;
+  spec.seed = seed;
+  spec.steps = steps;
+  spec.min_n = overlay.n() / 2;
+  spec.max_n = overlay.n() * 2;
+  spec.gap_every = std::max<std::size_t>(steps / 8, 1);
+  spec.measure_degree = true;
+  sim::ScenarioRunner runner(overlay, strat, spec);
+  const auto res = runner.run();
+
   Measured m;
-  const std::size_t base = net.n();
-  for (std::size_t t = 0; t < steps; ++t) {
-    bench::apply(net, strat.next(view, rng, base / 2, base * 2));
-    const auto c = last_cost();
-    rounds.push_back(static_cast<double>(c.rounds));
-    msgs.push_back(static_cast<double>(c.messages));
-    topo.push_back(static_cast<double>(c.topology_changes));
-    if (t % (steps / 8) == 0) {
-      const auto gap =
-          graph::spectral_gap(net.snapshot(), net.alive_mask()).gap;
-      m.gap_min = std::min(m.gap_min, gap);
-    }
-    m.max_degree =
-        std::max(m.max_degree, static_cast<double>(max_degree()));
-  }
-  m.rounds_p99 = metrics::summarize(rounds).p99;
-  m.msgs_p99 = metrics::summarize(msgs).p99;
-  m.topo_p99 = metrics::summarize(topo).p99;
+  m.max_degree = static_cast<double>(res.max_degree);
+  m.rounds_p99 = res.rounds.p99;
+  m.msgs_p99 = res.messages.p99;
+  m.topo_p99 = res.topology.p99;
+  m.gap_min = res.min_gap;
   return m;
 }
 
-std::size_t dex_max_degree(const DexNetwork& net) {
-  const auto g = net.snapshot();
-  std::size_t best = 0;
-  for (auto u : net.alive_nodes()) best = std::max(best, g.degree(u));
-  return best;
+void add_measured_row(metrics::Table& t, const char* algorithm, std::size_t n,
+                      const char* expansion, const char* adversary,
+                      const Measured& m) {
+  t.add_row({algorithm, std::to_string(n), expansion, adversary,
+             metrics::Table::num(m.max_degree, 0),
+             metrics::Table::num(m.rounds_p99, 0),
+             metrics::Table::num(m.msgs_p99, 0),
+             metrics::Table::num(m.topo_p99, 0),
+             metrics::Table::num(m.gap_min, 3)});
 }
 
 }  // namespace
@@ -85,40 +82,21 @@ int main() {
       Params prm;
       prm.seed = 1000 + n0;
       prm.mode = RecoveryMode::WorstCase;
-      DexNetwork net(n0, prm);
-      const auto m = churn_run(
-          net, steps, n0, [&] { return net.last_report().cost; },
-          [&] { return dex_max_degree(net); });
-      t.add_row({"DEX (this work)", std::to_string(n0), "deterministic",
-                 "adaptive", metrics::Table::num(m.max_degree, 0),
-                 metrics::Table::num(m.rounds_p99, 0),
-                 metrics::Table::num(m.msgs_p99, 0),
-                 metrics::Table::num(m.topo_p99, 0),
-                 metrics::Table::num(m.gap_min, 3)});
+      sim::DexOverlay overlay(n0, prm);
+      add_measured_row(t, "DEX (this work)", n0, "deterministic", "adaptive",
+                       churn_run(overlay, steps, n0));
     }
     {
-      baselines::LawSiuNetwork net(n0, 3, 2000 + n0);
-      const auto m = churn_run(
-          net, steps, n0 + 1, [&] { return net.last_step(); },
-          [&] { return net.max_degree(); });
-      t.add_row({"Law-Siu [18]", std::to_string(n0), "prob (oblivious)",
-                 "oblivious", metrics::Table::num(m.max_degree, 0),
-                 metrics::Table::num(m.rounds_p99, 0),
-                 metrics::Table::num(m.msgs_p99, 0),
-                 metrics::Table::num(m.topo_p99, 0),
-                 metrics::Table::num(m.gap_min, 3)});
+      sim::LawSiuOverlay overlay(n0, 3, 2000 + n0);
+      add_measured_row(t, "Law-Siu [18]", n0, "prob (oblivious)", "oblivious",
+                       churn_run(overlay, steps, n0 + 1));
     }
     {
-      baselines::FloodRebuildNetwork net(n0);
-      const auto m = churn_run(
-          net, std::min<std::size_t>(steps, 512), n0 + 2,
-          [&] { return net.last_step(); }, [&] { return net.max_degree(); });
-      t.add_row({"Flooding (Sec. 3)", std::to_string(n0), "deterministic",
-                 "adaptive", metrics::Table::num(m.max_degree, 0),
-                 metrics::Table::num(m.rounds_p99, 0),
-                 metrics::Table::num(m.msgs_p99, 0),
-                 metrics::Table::num(m.topo_p99, 0),
-                 metrics::Table::num(m.gap_min, 3)});
+      sim::FloodRebuildOverlay overlay(n0);
+      add_measured_row(t, "Flooding (Sec. 3)", n0, "deterministic",
+                       "adaptive",
+                       churn_run(overlay, std::min<std::size_t>(steps, 512),
+                                 n0 + 2));
     }
   }
   t.print();

@@ -3,16 +3,20 @@
 // measurements: connectivity under sustained adversarial deletions, degree
 // overhead, patch expansion, and healing cost locality, on three base
 // topologies (star-of-stars, random regular, grid-ish path-of-cliques).
+//
+// The deletion workload is the scenario engine's delete-only strategy driven
+// through the XhealOverlay adapter; the per-step connectivity audit rides on
+// the runner's step observer.
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
 #include "graph/spectral.h"
 #include "metrics/stats.h"
 #include "metrics/table.h"
 #include "support/prng.h"
-#include "xheal/xheal.h"
 
 using namespace dex;
 
@@ -50,24 +54,32 @@ graph::Multigraph make_clique_chain(std::size_t cliques, std::size_t size) {
 
 void run(const char* name, graph::Multigraph base, std::uint64_t seed,
          metrics::Table& t) {
-  xheal::XhealNetwork net(std::move(base));
-  support::Rng rng(seed);
-  const std::size_t deletions = net.n() / 2;
-  std::vector<double> msgs;
+  sim::XhealOverlay overlay(std::move(base));
+  const std::size_t deletions = overlay.n() / 2;
+
+  adversary::DeleteOnly strat;
+  sim::ScenarioSpec spec;
+  spec.seed = seed;
+  spec.steps = deletions;
+  spec.min_n = 4;
+  spec.max_n = 2 * overlay.n();
+  sim::ScenarioRunner runner(overlay, strat, spec);
+
   bool always_connected = true;
-  for (std::size_t d = 0; d < deletions && net.n() > 4; ++d) {
-    const auto nodes = net.alive_nodes();
-    net.remove(nodes[rng.below(nodes.size())]);
-    msgs.push_back(static_cast<double>(net.last_step().messages));
-    always_connected =
-        always_connected && graph::is_connected(net.graph(), net.alive_mask());
-  }
-  const auto spec = graph::spectral_gap(net.graph(), net.alive_mask());
+  runner.set_observer([&](const sim::StepRecord&, sim::HealingOverlay&) {
+    always_connected = always_connected &&
+                       graph::is_connected(overlay.net().graph(),
+                                           overlay.net().alive_mask());
+  });
+  const auto res = runner.run();
+
+  const auto spec_gap =
+      graph::spectral_gap(overlay.net().graph(), overlay.alive_mask());
   t.add_row({name, std::to_string(deletions),
              always_connected ? "yes" : "NO",
-             std::to_string(net.max_degree_overhead()),
-             metrics::Table::num(metrics::summarize(msgs).p99, 0),
-             metrics::Table::num(spec.gap, 3)});
+             std::to_string(overlay.net().max_degree_overhead()),
+             metrics::Table::num(res.messages.p99, 0),
+             metrics::Table::num(spec_gap.gap, 3)});
 }
 
 }  // namespace

@@ -2,19 +2,48 @@
 // adversary (it inspects the full topology and evaluates candidate
 // deletions' post-healing spectral gap) attacks a probabilistic overlay
 // (Law–Siu) and DEX side by side — the contrast that motivates the paper.
+// Both duels are the same ScenarioRunner call; only the overlay differs.
 //
 //   $ ./adversary_attack [deletions=120] [seed=5]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "adversary/adversary.h"
-#include "baselines/law_siu.h"
-#include "dex/network.h"
 #include "graph/spectral.h"
-#include "support/prng.h"
+#include "sim/overlay.h"
+#include "sim/scenario.h"
 
-namespace adv = dex::adversary;
+namespace sim = dex::sim;
+
+namespace {
+
+void duel(sim::HealingOverlay& overlay, std::size_t deletions,
+          std::uint64_t seed, std::size_t n0) {
+  std::printf("  after %3zu deletions: n=%3zu  gap=%.4f\n",
+              std::size_t{0}, overlay.n(),
+              dex::graph::spectral_gap(overlay.snapshot(),
+                                       overlay.alive_mask())
+                  .gap);
+  dex::adversary::GreedySpectralDeletion attack(24);
+  sim::ScenarioSpec spec;
+  spec.seed = seed;
+  spec.steps = deletions;
+  spec.min_n = 40;
+  spec.max_n = 4 * n0;
+  sim::ScenarioRunner runner(overlay, attack, spec);
+  runner.set_observer(
+      [](const sim::StepRecord& rec, sim::HealingOverlay& o) {
+        if ((rec.step + 1) % 20 == 0) {
+          std::printf("  after %3llu deletions: n=%3zu  gap=%.4f\n",
+                      static_cast<unsigned long long>(rec.step + 1), rec.n,
+                      dex::graph::spectral_gap(o.snapshot(), o.alive_mask())
+                          .gap);
+        }
+      });
+  runner.run();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t deletions =
@@ -24,67 +53,21 @@ int main(int argc, char** argv) {
   const std::size_t n0 = 200;
 
   std::printf("target: union of 2 random Hamiltonian cycles (Law-Siu)\n");
-  dex::baselines::LawSiuNetwork ls(n0, 2, seed);
-  adv::AdversaryView lv{
-      [&] { return ls.n(); },
-      [&] { return ls.alive_nodes(); },
-      [&] { return ls.snapshot(); },
-      [&] { return ls.alive_mask(); },
-      [&](adv::NodeId u) { return ls.degree(u); },
-      [] { return dex::graph::kInvalidNode; },
-      [&](adv::NodeId u) { return ls.snapshot_without(u); },
-  };
-  adv::GreedySpectralDeletion attack_ls(24);
-  dex::support::Rng rng(seed + 1);
-  for (std::size_t t = 0; t <= deletions; ++t) {
-    if (t % 20 == 0) {
-      std::printf("  after %3zu deletions: n=%3zu  gap=%.4f\n", t, ls.n(),
-                  dex::graph::spectral_gap(ls.snapshot(), ls.alive_mask())
-                      .gap);
-    }
-    if (t < deletions) {
-      const auto a = attack_ls.next(lv, rng, 40, 4 * n0);
-      if (a.insert) {
-        ls.insert();
-      } else {
-        ls.remove(a.target);
-      }
-    }
+  {
+    sim::LawSiuOverlay overlay(n0, 2, seed);
+    duel(overlay, deletions, seed + 1, n0);
   }
 
   std::printf("\ntarget: DEX (worst-case mode), same adversary\n");
-  dex::Params prm;
-  prm.seed = seed;
-  prm.mode = dex::RecoveryMode::WorstCase;
-  dex::DexNetwork net(n0, prm);
-  adv::AdversaryView dv{
-      [&] { return net.n(); },
-      [&] { return net.alive_nodes(); },
-      [&] { return net.snapshot(); },
-      [&] { return net.alive_mask(); },
-      [&](adv::NodeId u) {
-        return static_cast<std::size_t>(net.total_load(u));
-      },
-      [&] { return net.coordinator(); },
-      {},
-  };
-  adv::GreedySpectralDeletion attack_dex(24);
-  for (std::size_t t = 0; t <= deletions; ++t) {
-    if (t % 20 == 0) {
-      std::printf("  after %3zu deletions: n=%3zu  gap=%.4f\n", t, net.n(),
-                  dex::graph::spectral_gap(net.snapshot(), net.alive_mask())
-                      .gap);
-    }
-    if (t < deletions) {
-      const auto a = attack_dex.next(dv, rng, 40, 4 * n0);
-      if (a.insert) {
-        net.insert(a.target);
-      } else {
-        net.remove(a.target);
-      }
-    }
+  {
+    dex::Params prm;
+    prm.seed = seed;
+    prm.mode = dex::RecoveryMode::WorstCase;
+    sim::DexOverlay overlay(n0, prm);
+    duel(overlay, deletions, seed + 2, n0);
+    overlay.check_invariants();
   }
-  net.check_invariants();
+
   std::printf(
       "\nThe probabilistic overlay's expansion decays monotonically under\n"
       "the adaptive attack and never recovers; DEX re-balances after every\n"

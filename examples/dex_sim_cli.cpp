@@ -1,8 +1,25 @@
-// Scripted simulator CLI — drive a DexNetwork from a churn script (stdin or
-// file), for reproducing traces, debugging adversarial sequences, and
-// piping experiments from other tooling.
+// Simulator CLI. Two modes:
 //
-// Commands (one per line, '#' comments):
+// (1) Scenario mode — any backend x any adversary x any size from one
+//     binary, driven by the ScenarioRunner; the per-step trace goes to
+//     stdout as CSV and the aggregate summary to stderr as JSON:
+//
+//   $ ./dex_sim_cli --backend=flood --scenario=churn --n0=64 --steps=200
+//   $ ./dex_sim_cli --backend=dex-worstcase --scenario=targeted --seed=7
+//
+//     Flags: --backend=NAME   (dex-amortized, dex-worstcase, flood, lawsiu,
+//                              randomflip, xheal)
+//            --scenario=NAME  (churn, insert-only, delete-only, oscillate,
+//                              targeted, load-attack, spectral,
+//                              greedy-spectral)
+//            --n0=N --steps=N --seed=S --min-n=N --max-n=N --warmup=N
+//            --insert-prob=P --gap-every=K --no-trace
+//
+// (2) Scripted mode (legacy) — drive a DexNetwork from a churn script
+//     (stdin or file), for reproducing traces, debugging adversarial
+//     sequences, and piping experiments from other tooling.
+//
+// Script commands (one per line, '#' comments):
 //   INIT <n0> [seed] [worstcase|amortized]   (re)create the network
 //   INSERT <attach_id>                       insert a node
 //   DELETE <id>                              delete a node
@@ -15,7 +32,10 @@
 //
 //   $ printf 'INIT 32 7\nCHURN 100 0.6\nSTATS\nAUDIT\n' | ./dex_sim_cli
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -27,9 +47,175 @@
 #include "dex/network.h"
 #include "graph/bfs.h"
 #include "graph/spectral.h"
+#include "sim/overlay.h"
+#include "sim/scenario.h"
 #include "support/prng.h"
 
 namespace {
+
+// ------------------------------------------------------------ scenario mode
+
+struct ScenarioArgs {
+  std::string backend = "dex-worstcase";
+  std::string scenario = "churn";
+  std::size_t n0 = 64;
+  std::uint64_t seed = 1;
+  dex::sim::ScenarioSpec spec;
+  dex::sim::StrategyOptions opts;
+  bool trace = true;
+};
+
+bool parse_flag(const std::string& arg, const char* name, std::string& out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+/// stoull that rejects what std::stoull silently accepts or reports badly:
+/// negative input (wrapped to huge values), trailing garbage ("1e3"
+/// parsing as 1), and non-numeric input (bare "stoull" exception text).
+std::uint64_t parse_u64(const std::string& v) try {
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  // Require a leading digit: stoull itself skips whitespace and accepts a
+  // sign, which would let " -1" wrap to 2^64-1.
+  if (!v.empty() && std::isdigit(static_cast<unsigned char>(v[0]))) {
+    out = std::stoull(v, &pos);
+  }
+  if (pos != v.size() || v.empty()) throw std::invalid_argument(v);
+  return out;
+} catch (const std::exception&) {  // invalid_argument or out_of_range
+  throw std::invalid_argument("expected a non-negative integer, got '" + v +
+                              "'");
+}
+
+/// stod with the same strictness (rejects "0.5x", clean message for "abc").
+double parse_double(const std::string& v) try {
+  std::size_t pos = 0;
+  const double out = v.empty() ? 0.0 : std::stod(v, &pos);
+  if (pos != v.size() || v.empty()) throw std::invalid_argument(v);
+  return out;
+} catch (const std::exception&) {  // invalid_argument or out_of_range
+  throw std::invalid_argument("expected a number, got '" + v + "'");
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: dex_sim_cli [--backend=NAME] [--scenario=NAME] [--n0=N]\n"
+      "                   [--steps=N] [--seed=S] [--min-n=N] [--max-n=N]\n"
+      "                   [--warmup=N] [--insert-prob=P] [--gap-every=K]\n"
+      "                   [--no-trace]\n"
+      "       dex_sim_cli [script-file]        (legacy scripted mode)\n"
+      "\n"
+      "backends:  %s\n"
+      "scenarios: %s\n"
+      "\n"
+      "Scenario mode prints the per-step CSV trace on stdout and a JSON\n"
+      "summary on stderr. Same --seed => same adversary decision sequence\n"
+      "across backends.\n",
+      dex::sim::overlay_names(), dex::sim::strategy_names());
+}
+
+int run_scenario(int argc, char** argv) {
+  ScenarioArgs a;
+  a.spec.steps = 256;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      std::string v;
+      if (parse_flag(arg, "backend", v)) {
+        a.backend = v;
+      } else if (parse_flag(arg, "scenario", v)) {
+        a.scenario = v;
+      } else if (parse_flag(arg, "n0", v)) {
+        a.n0 = parse_u64(v);
+      } else if (parse_flag(arg, "seed", v)) {
+        a.seed = parse_u64(v);
+      } else if (parse_flag(arg, "steps", v)) {
+        a.spec.steps = parse_u64(v);
+      } else if (parse_flag(arg, "min-n", v)) {
+        a.spec.min_n = parse_u64(v);
+      } else if (parse_flag(arg, "max-n", v)) {
+        a.spec.max_n = parse_u64(v);
+      } else if (parse_flag(arg, "warmup", v)) {
+        a.spec.warmup_steps = parse_u64(v);
+      } else if (parse_flag(arg, "insert-prob", v)) {
+        a.opts.insert_prob = parse_double(v);
+        if (!(a.opts.insert_prob >= 0.0 && a.opts.insert_prob <= 1.0)) {
+          throw std::invalid_argument("--insert-prob must be in [0, 1], got " +
+                                      v);
+        }
+      } else if (parse_flag(arg, "gap-every", v)) {
+        a.spec.gap_every = parse_u64(v);
+      } else if (arg == "--no-trace") {
+        a.trace = false;
+      } else if (arg == "--help" || arg == "-h") {
+        print_usage(stdout);
+        return 0;
+      } else {
+        std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+        print_usage(stderr);
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad flag value: %s\n", e.what());
+    return 2;
+  }
+  // The adversary's random stream must be independent of the backend's
+  // internal coins (the §2 model hides only the algorithm's future flips),
+  // so the overlay gets a salted derivation of the user seed while the
+  // runner — whose spec.seed lands in the emitted summary and must
+  // reproduce the run — keeps the seed the user typed.
+  a.spec.seed = a.seed;
+  // Fold the strategy knob into the label so the archived summary records
+  // the full workload, not just its name.
+  a.spec.label = a.scenario;
+  if (a.scenario == "churn") {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "(insert_prob=%g)", a.opts.insert_prob);
+    a.spec.label += buf;
+  }
+  // One flag controls churn bias everywhere it applies.
+  a.spec.warmup_insert_prob = a.opts.insert_prob;
+  // The per-step degree scan only pays off when the trace is emitted.
+  a.spec.measure_degree = a.trace;
+  a.spec.record_trace = a.trace;
+  // Validate against the bounds the runner will actually use (a flag left
+  // at 0 means "derive from n0" — see sim::resolve_bounds).
+  const auto bounds = dex::sim::resolve_bounds(a.spec, a.n0);
+  if (!bounds.valid()) {
+    std::fprintf(stderr,
+                 "population bounds must satisfy 3 <= min < max (got "
+                 "min=%zu max=%zu; defaults derive from --n0)\n",
+                 bounds.min_n, bounds.max_n);
+    return 2;
+  }
+
+  auto overlay = dex::sim::make_overlay(a.backend, a.n0,
+                                        a.seed ^ 0x9e3779b97f4a7c15ULL);
+  if (!overlay) {
+    std::fprintf(stderr, "unknown backend '%s' (valid: %s)\n",
+                 a.backend.c_str(), dex::sim::overlay_names());
+    return 2;
+  }
+  auto strategy = dex::sim::make_strategy(a.scenario, a.opts);
+  if (!strategy) {
+    std::fprintf(stderr, "unknown scenario '%s' (valid: %s)\n",
+                 a.scenario.c_str(), dex::sim::strategy_names());
+    return 2;
+  }
+
+  dex::sim::ScenarioRunner runner(*overlay, *strategy, a.spec);
+  const auto result = runner.run();
+  if (a.trace) std::fputs(dex::sim::trace_csv(result).c_str(), stdout);
+  std::fprintf(stderr, "%s\n", dex::sim::summary_json(result).c_str());
+  return 0;
+}
+
+// ------------------------------------------------------------ script mode
 
 struct Session {
   std::unique_ptr<dex::DexNetwork> net;
@@ -72,9 +258,7 @@ void cmd_dot(Session& s) {
   std::printf("}\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_script(int argc, char** argv) {
   std::istream* in = &std::cin;
   std::ifstream file;
   if (argc > 1) {
@@ -195,4 +379,14 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && (std::strncmp(argv[1], "--", 2) == 0 ||
+                   std::strcmp(argv[1], "-h") == 0)) {
+    return run_scenario(argc, argv);
+  }
+  return run_script(argc, argv);
 }

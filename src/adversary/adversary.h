@@ -7,8 +7,10 @@
 /// algorithm's future coin flips are hidden. Strategies here receive a full
 /// read-only view and emit one churn action per step.
 ///
-/// Network-agnostic: DEX and the baselines adapt to AdversaryView via
-/// make_view() overload-like helpers in the benches.
+/// Network-agnostic: every backend adapts to AdversaryView through the
+/// unified sim::HealingOverlay interface — sim::make_view(overlay) builds
+/// the view, and sim::CachedView (scenario.h) adds per-step caching of the
+/// expensive components.
 
 #include <cstdint>
 #include <deque>
@@ -73,14 +75,18 @@ class RandomChurn final : public Strategy {
   double p_;
 };
 
-/// Pure growth (drives inflations).
+/// Pure growth (drives inflations). Deliberately ignores max_n — a growth
+/// workload that started deleting at a cap would no longer be insert-only;
+/// size the step count to the growth you want.
 class InsertOnly final : public Strategy {
  public:
   ChurnAction next(const AdversaryView& view, support::Rng& rng,
                    std::size_t min_n, std::size_t max_n) override;
 };
 
-/// Pure shrinkage (drives deflations).
+/// Pure shrinkage (drives deflations). Honors min_n (inserts at the floor
+/// instead of destroying the network) but, symmetrically with InsertOnly,
+/// ignores max_n.
 class DeleteOnly final : public Strategy {
  public:
   ChurnAction next(const AdversaryView& view, support::Rng& rng,

@@ -35,6 +35,11 @@ class RandomFlipNetwork {
   }
   [[nodiscard]] std::vector<NodeId> alive_nodes() const;
   [[nodiscard]] std::vector<bool> alive_mask() const { return alive_; }
+  /// Degree straight off the incidence lists (no snapshot materialization).
+  /// A self-loop counts 2 here (vs 1 in Multigraph::degree).
+  [[nodiscard]] std::size_t degree(NodeId u) const {
+    return incident_[u].size();
+  }
   [[nodiscard]] std::size_t max_degree() const;
 
   [[nodiscard]] graph::Multigraph snapshot() const;

@@ -1,0 +1,139 @@
+#include "metrics/emit.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace dex::metrics {
+
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (!needs_quoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // RFC 8259: control characters must be escaped.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv_line(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(cells[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  DEX_ASSERT_MSG(cells.size() == header_.size(), "CSV row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  write_csv_line(os, header_);
+  for (const auto& row : rows_) write_csv_line(os, row);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream ss;
+  write(ss);
+  return ss.str();
+}
+
+JsonObject& JsonObject::add(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, json_escape(value));
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, double value) {
+  fields_.emplace_back(key,
+                       std::isfinite(value) ? format_double(value) : "null");
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, const JsonObject& value) {
+  fields_.emplace_back(key, value.to_string());
+  return *this;
+}
+
+std::string JsonObject::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += json_escape(fields_[i].first);
+    out += ": ";
+    out += fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dex::metrics

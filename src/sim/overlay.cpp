@@ -1,0 +1,34 @@
+#include "sim/overlay.h"
+
+#include "graph/generators.h"
+
+namespace dex::sim {
+
+std::unique_ptr<HealingOverlay> make_overlay(const std::string& backend,
+                                             std::size_t n0,
+                                             std::uint64_t seed) {
+  if (backend == "dex-amortized" || backend == "dex-worstcase") {
+    dex::Params prm;
+    prm.seed = seed;
+    prm.mode = backend == "dex-amortized" ? RecoveryMode::Amortized
+                                          : RecoveryMode::WorstCase;
+    return std::make_unique<DexOverlay>(n0, prm);
+  }
+  if (backend == "flood") return std::make_unique<FloodRebuildOverlay>(n0);
+  if (backend == "lawsiu")
+    return std::make_unique<LawSiuOverlay>(n0, /*d=*/3, seed);
+  if (backend == "randomflip")
+    return std::make_unique<RandomFlipOverlay>(n0, /*d=*/6, seed);
+  if (backend == "xheal") {
+    support::Rng gen(seed);
+    return std::make_unique<XhealOverlay>(
+        graph::make_random_regular(n0, /*d=*/4, gen));
+  }
+  return nullptr;
+}
+
+const char* overlay_names() {
+  return "dex-amortized, dex-worstcase, flood, lawsiu, randomflip, xheal";
+}
+
+}  // namespace dex::sim

@@ -1,0 +1,354 @@
+#pragma once
+
+/// \file overlay.h
+/// The unified self-healing-overlay interface the whole experiment stack
+/// drives: one abstract surface (churn + read-only views + cost meters) over
+/// every maintained-topology construction the paper compares — DEX in both
+/// recovery flavours, the flooding strawman of §3, the Law–Siu overlay [18],
+/// the flip-chain overlay [6, 23], and Xheal-with-guaranteed-patches [24].
+///
+/// Anything that can (a) absorb one adversarial insertion or deletion per
+/// step and (b) expose its topology and per-step cost is a HealingOverlay;
+/// the ScenarioRunner (sim/scenario.h), the adversary strategies (via
+/// make_view), the benches and the CLI all operate on this interface and are
+/// therefore backend-agnostic.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "baselines/flood_rebuild.h"
+#include "baselines/law_siu.h"
+#include "baselines/random_flip.h"
+#include "dex/network.h"
+#include "graph/multigraph.h"
+#include "sim/meters.h"
+#include "xheal/xheal.h"
+
+namespace dex::sim {
+
+using graph::NodeId;
+
+class HealingOverlay {
+ public:
+  virtual ~HealingOverlay() = default;
+
+  /// Stable identifier ("dex-worstcase", "flood", …) used in emitted traces.
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // ----- the adversary interface of §2: one churn event per step -----
+
+  /// Inserts one node. `attach_to` is the adversary's chosen attachment
+  /// point; constructions that splice newcomers in on their own (Law–Siu,
+  /// flip-chain, flooding) may ignore it. Returns the new node's id.
+  virtual NodeId insert(NodeId attach_to) = 0;
+
+  /// Deletes `victim` (must be alive); the overlay heals before returning.
+  virtual void remove(NodeId victim) = 0;
+
+  // ----- read-only views -----
+
+  [[nodiscard]] virtual std::size_t n() const = 0;
+  [[nodiscard]] virtual bool alive(NodeId u) const = 0;
+  [[nodiscard]] virtual std::vector<NodeId> alive_nodes() const = 0;
+  [[nodiscard]] virtual std::vector<bool> alive_mask() const = 0;
+
+  /// The real topology as a multigraph over the full id capacity; combine
+  /// with alive_mask() for the graph algorithms.
+  [[nodiscard]] virtual graph::Multigraph snapshot() const = 0;
+
+  /// Load of a node: virtual vertices simulated for DEX, degree for the
+  /// graph-maintained baselines.
+  [[nodiscard]] virtual std::size_t load(NodeId u) const = 0;
+
+  /// Max degree in the real topology. Default scans a snapshot; backends
+  /// with a cheap accessor override it (the runner calls this every step
+  /// when ScenarioSpec::measure_degree is on).
+  [[nodiscard]] virtual std::size_t max_degree() const {
+    const auto g = snapshot();
+    std::size_t best = 0;
+    for (auto u : alive_nodes()) best = std::max(best, g.degree(u));
+    return best;
+  }
+
+  /// A distinguished node worth attacking (DEX's coordinator), or
+  /// graph::kInvalidNode when the construction has none.
+  [[nodiscard]] virtual NodeId special_node() const {
+    return graph::kInvalidNode;
+  }
+
+  // ----- cost accounting -----
+
+  [[nodiscard]] virtual const CostMeter& meter() const = 0;
+  /// Cost of the most recent insert()/remove() step.
+  [[nodiscard]] virtual StepCost last_step_cost() const = 0;
+
+  // ----- optional capabilities -----
+
+  /// Whether snapshot_without() below is an exact post-healing oracle.
+  [[nodiscard]] virtual bool has_removal_oracle() const { return false; }
+
+  /// Topology that would result from deleting `victim` including the
+  /// overlay's deterministic healing. Must be overridden by any adapter
+  /// returning has_removal_oracle() == true; strategies fall back to a raw
+  /// snapshot with the victim masked out when no oracle is wired (see
+  /// GreedySpectralDeletion), so there is deliberately no default here.
+  [[nodiscard]] virtual graph::Multigraph snapshot_without(
+      NodeId victim) const {
+    (void)victim;
+    DEX_ASSERT_MSG(false,
+                   "snapshot_without called on an overlay without a "
+                   "removal oracle");
+    return graph::Multigraph{};  // unreachable
+  }
+
+  /// Heavy structural audit; aborts on violation. Default: no-op.
+  virtual void check_invariants() const {}
+};
+
+/// The one AdversaryView builder (replaces the per-backend view_of()
+/// overloads the benches used to carry). The view borrows `overlay`; it must
+/// outlive the view.
+[[nodiscard]] inline adversary::AdversaryView make_view(
+    const HealingOverlay& overlay) {
+  adversary::AdversaryView v{
+      [&overlay] { return overlay.n(); },
+      [&overlay] { return overlay.alive_nodes(); },
+      [&overlay] { return overlay.snapshot(); },
+      [&overlay] { return overlay.alive_mask(); },
+      [&overlay](NodeId u) { return overlay.load(u); },
+      [&overlay] { return overlay.special_node(); },
+      {},
+  };
+  if (overlay.has_removal_oracle()) {
+    v.snapshot_without = [&overlay](NodeId u) {
+      return overlay.snapshot_without(u);
+    };
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Adapters. Each owns its network and exposes it through net() for code that
+// needs construction-specific counters (walk retries, rebuild counts, …).
+// ---------------------------------------------------------------------------
+
+class DexOverlay final : public HealingOverlay {
+ public:
+  explicit DexOverlay(std::size_t n0, dex::Params params = {})
+      : net_(n0, params),
+        name_(params.mode == RecoveryMode::Amortized ? "dex-amortized"
+                                                     : "dex-worstcase") {}
+
+  [[nodiscard]] const char* name() const override { return name_; }
+  NodeId insert(NodeId attach_to) override { return net_.insert(attach_to); }
+  void remove(NodeId victim) override { net_.remove(victim); }
+  [[nodiscard]] std::size_t n() const override { return net_.n(); }
+  [[nodiscard]] bool alive(NodeId u) const override { return net_.alive(u); }
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
+    return net_.alive_nodes();
+  }
+  [[nodiscard]] std::vector<bool> alive_mask() const override {
+    return net_.alive_mask();
+  }
+  [[nodiscard]] graph::Multigraph snapshot() const override {
+    return net_.snapshot();
+  }
+  [[nodiscard]] std::size_t load(NodeId u) const override {
+    return static_cast<std::size_t>(net_.total_load(u));
+  }
+  [[nodiscard]] NodeId special_node() const override {
+    return net_.coordinator();
+  }
+  [[nodiscard]] const CostMeter& meter() const override {
+    return net_.meter();
+  }
+  [[nodiscard]] StepCost last_step_cost() const override {
+    return net_.last_report().cost;
+  }
+  void check_invariants() const override { net_.check_invariants(); }
+
+  [[nodiscard]] DexNetwork& net() { return net_; }
+  [[nodiscard]] const DexNetwork& net() const { return net_; }
+
+ private:
+  DexNetwork net_;
+  const char* name_;
+};
+
+class FloodRebuildOverlay final : public HealingOverlay {
+ public:
+  explicit FloodRebuildOverlay(std::size_t n0) : net_(n0) {}
+
+  [[nodiscard]] const char* name() const override { return "flood"; }
+  NodeId insert(NodeId /*attach_to*/) override { return net_.insert(); }
+  void remove(NodeId victim) override { net_.remove(victim); }
+  [[nodiscard]] std::size_t n() const override { return net_.n(); }
+  [[nodiscard]] bool alive(NodeId u) const override { return net_.alive(u); }
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
+    return net_.alive_nodes();
+  }
+  [[nodiscard]] std::vector<bool> alive_mask() const override {
+    return net_.alive_mask();
+  }
+  [[nodiscard]] graph::Multigraph snapshot() const override {
+    return net_.snapshot();
+  }
+  /// The rebuilt mapping is balanced, so every node carries the same load
+  /// up to rounding; report the max (what the old bench view did).
+  [[nodiscard]] std::size_t load(NodeId /*u*/) const override {
+    return net_.max_degree();
+  }
+  [[nodiscard]] std::size_t max_degree() const override {
+    return net_.max_degree();
+  }
+  [[nodiscard]] const CostMeter& meter() const override {
+    return net_.meter();
+  }
+  [[nodiscard]] StepCost last_step_cost() const override {
+    return net_.last_step();
+  }
+
+  [[nodiscard]] baselines::FloodRebuildNetwork& net() { return net_; }
+
+ private:
+  baselines::FloodRebuildNetwork net_;
+};
+
+class LawSiuOverlay final : public HealingOverlay {
+ public:
+  LawSiuOverlay(std::size_t n0, std::size_t d, std::uint64_t seed)
+      : net_(n0, d, seed) {}
+
+  [[nodiscard]] const char* name() const override { return "lawsiu"; }
+  NodeId insert(NodeId /*attach_to*/) override { return net_.insert(); }
+  void remove(NodeId victim) override { net_.remove(victim); }
+  [[nodiscard]] std::size_t n() const override { return net_.n(); }
+  [[nodiscard]] bool alive(NodeId u) const override { return net_.alive(u); }
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
+    return net_.alive_nodes();
+  }
+  [[nodiscard]] std::vector<bool> alive_mask() const override {
+    return net_.alive_mask();
+  }
+  [[nodiscard]] graph::Multigraph snapshot() const override {
+    return net_.snapshot();
+  }
+  [[nodiscard]] std::size_t load(NodeId u) const override {
+    return net_.degree(u);
+  }
+  [[nodiscard]] std::size_t max_degree() const override {
+    return net_.max_degree();
+  }
+  [[nodiscard]] const CostMeter& meter() const override {
+    return net_.meter();
+  }
+  [[nodiscard]] StepCost last_step_cost() const override {
+    return net_.last_step();
+  }
+  [[nodiscard]] bool has_removal_oracle() const override { return true; }
+  [[nodiscard]] graph::Multigraph snapshot_without(
+      NodeId victim) const override {
+    return net_.snapshot_without(victim);
+  }
+
+  [[nodiscard]] baselines::LawSiuNetwork& net() { return net_; }
+
+ private:
+  baselines::LawSiuNetwork net_;
+};
+
+class RandomFlipOverlay final : public HealingOverlay {
+ public:
+  RandomFlipOverlay(std::size_t n0, std::size_t d, std::uint64_t seed,
+                    std::size_t flips_per_step = 4)
+      : net_(n0, d, seed, flips_per_step) {}
+
+  [[nodiscard]] const char* name() const override { return "randomflip"; }
+  NodeId insert(NodeId /*attach_to*/) override { return net_.insert(); }
+  void remove(NodeId victim) override { net_.remove(victim); }
+  [[nodiscard]] std::size_t n() const override { return net_.n(); }
+  [[nodiscard]] bool alive(NodeId u) const override { return net_.alive(u); }
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
+    return net_.alive_nodes();
+  }
+  [[nodiscard]] std::vector<bool> alive_mask() const override {
+    return net_.alive_mask();
+  }
+  [[nodiscard]] graph::Multigraph snapshot() const override {
+    return net_.snapshot();
+  }
+  [[nodiscard]] std::size_t load(NodeId u) const override {
+    return net_.degree(u);
+  }
+  [[nodiscard]] std::size_t max_degree() const override {
+    return net_.max_degree();
+  }
+  [[nodiscard]] const CostMeter& meter() const override {
+    return net_.meter();
+  }
+  [[nodiscard]] StepCost last_step_cost() const override {
+    return net_.last_step();
+  }
+
+  [[nodiscard]] baselines::RandomFlipNetwork& net() { return net_; }
+
+ private:
+  baselines::RandomFlipNetwork net_;
+};
+
+class XhealOverlay final : public HealingOverlay {
+ public:
+  explicit XhealOverlay(graph::Multigraph initial)
+      : net_(std::move(initial)) {}
+
+  [[nodiscard]] const char* name() const override { return "xheal"; }
+  NodeId insert(NodeId attach_to) override { return net_.insert({attach_to}); }
+  void remove(NodeId victim) override { net_.remove(victim); }
+  [[nodiscard]] std::size_t n() const override { return net_.n(); }
+  [[nodiscard]] bool alive(NodeId u) const override { return net_.alive(u); }
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
+    return net_.alive_nodes();
+  }
+  [[nodiscard]] std::vector<bool> alive_mask() const override {
+    return net_.alive_mask();
+  }
+  [[nodiscard]] graph::Multigraph snapshot() const override {
+    return net_.graph();
+  }
+  [[nodiscard]] std::size_t load(NodeId u) const override {
+    return net_.graph().degree(u);
+  }
+  /// Scans the live graph by const reference — no snapshot copy.
+  [[nodiscard]] std::size_t max_degree() const override {
+    const auto& g = net_.graph();
+    std::size_t best = 0;
+    for (auto u : net_.alive_nodes()) best = std::max(best, g.degree(u));
+    return best;
+  }
+  [[nodiscard]] const CostMeter& meter() const override {
+    return net_.meter();
+  }
+  [[nodiscard]] StepCost last_step_cost() const override {
+    return net_.last_step();
+  }
+
+  [[nodiscard]] xheal::XhealNetwork& net() { return net_; }
+
+ private:
+  xheal::XhealNetwork net_;
+};
+
+/// Backend factory keyed by the names the CLI exposes: "dex-amortized",
+/// "dex-worstcase", "flood", "lawsiu", "randomflip", "xheal" (started from a
+/// random 4-regular graph). Returns nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<HealingOverlay> make_overlay(
+    const std::string& backend, std::size_t n0, std::uint64_t seed);
+
+/// Comma-separated list of valid factory names (for usage messages).
+[[nodiscard]] const char* overlay_names();
+
+}  // namespace dex::sim

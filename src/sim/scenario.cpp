@@ -1,0 +1,233 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/spectral.h"
+#include "metrics/emit.h"
+#include "support/assert.h"
+
+namespace dex::sim {
+
+// ------------------------------------------------------------- CachedView
+
+CachedView::CachedView(const HealingOverlay& overlay)
+    : overlay_(overlay), view_(make_view(overlay)) {
+  // Start from the canonical make_view wiring and overwrite only the three
+  // expensive components with memoizing versions.
+  view_.alive_nodes = [this] {
+    if (!nodes_) nodes_ = overlay_.alive_nodes();
+    return *nodes_;
+  };
+  view_.snapshot = [this] {
+    if (!snapshot_) snapshot_ = overlay_.snapshot();
+    return *snapshot_;
+  };
+  view_.alive_mask = [this] {
+    if (!mask_) mask_ = overlay_.alive_mask();
+    return *mask_;
+  };
+}
+
+void CachedView::invalidate() {
+  nodes_.reset();
+  snapshot_.reset();
+  mask_.reset();
+}
+
+// --------------------------------------------------------- ScenarioRunner
+
+namespace {
+
+void apply_action(HealingOverlay& overlay, const adversary::ChurnAction& a,
+                  StepRecord& rec) {
+  rec.insert = a.insert;
+  rec.target = a.target;
+  if (a.insert) {
+    DEX_ASSERT_MSG(overlay.alive(a.target),
+                   "strategy chose a dead attach point");
+    rec.new_node = overlay.insert(a.target);
+  } else {
+    DEX_ASSERT_MSG(overlay.alive(a.target), "strategy chose a dead victim");
+    DEX_ASSERT_MSG(overlay.n() > 2, "scenario would delete the network away");
+    overlay.remove(a.target);
+    rec.new_node = graph::kInvalidNode;
+  }
+}
+
+}  // namespace
+
+ResolvedBounds resolve_bounds(const ScenarioSpec& spec, std::size_t n0) {
+  ResolvedBounds b;
+  b.min_n = spec.min_n ? spec.min_n : std::max<std::size_t>(n0 / 2, 4);
+  b.max_n = spec.max_n ? spec.max_n : 2 * n0;
+  return b;
+}
+
+ScenarioRunner::ScenarioRunner(HealingOverlay& overlay,
+                               adversary::Strategy& strategy,
+                               ScenarioSpec spec)
+    : overlay_(overlay), strategy_(strategy), spec_(spec) {}
+
+ScenarioResult ScenarioRunner::run() {
+  support::Rng rng(spec_.seed);
+  const std::size_t base = overlay_.n();
+  const auto bounds = resolve_bounds(spec_, base);
+  const std::size_t min_n = bounds.min_n;
+  const std::size_t max_n = bounds.max_n;
+  DEX_ASSERT_MSG(bounds.valid(), "degenerate population bounds");
+
+  CachedView cache(overlay_);
+  const adversary::AdversaryView& view = cache.view();
+
+  ScenarioResult result;
+  result.backend = overlay_.name();
+  result.spec = spec_;
+  result.start_n = base;
+  if (spec_.record_trace) result.trace.reserve(spec_.steps);
+
+  if (spec_.warmup_steps > 0) {
+    adversary::RandomChurn warmup(spec_.warmup_insert_prob);
+    for (std::size_t t = 0; t < spec_.warmup_steps; ++t) {
+      StepRecord scratch;
+      apply_action(overlay_, warmup.next(view, rng, min_n, max_n), scratch);
+      cache.invalidate();
+    }
+  }
+
+  std::vector<double> rounds, messages, topology;
+  rounds.reserve(spec_.steps);
+  messages.reserve(spec_.steps);
+  topology.reserve(spec_.steps);
+
+  for (std::size_t t = 0; t < spec_.steps; ++t) {
+    StepRecord rec;
+    rec.step = t;
+    apply_action(overlay_, strategy_.next(view, rng, min_n, max_n), rec);
+    cache.invalidate();
+
+    rec.n = overlay_.n();
+    rec.cost = overlay_.last_step_cost();
+    if (spec_.measure_degree) {
+      rec.max_degree = overlay_.max_degree();
+      result.max_degree = std::max(result.max_degree, rec.max_degree);
+    }
+    if (spec_.gap_every > 0 && t % spec_.gap_every == 0) {
+      // Clamp at 0: near-disconnection the solver's Rayleigh estimate can
+      // round to a tiny negative, which would collide with the -1 "not
+      // sampled" sentinel.
+      rec.gap = std::max(
+          0.0, graph::spectral_gap(view.snapshot(), view.alive_mask()).gap);
+      result.min_gap = std::min(result.min_gap, rec.gap);
+    }
+
+    rounds.push_back(static_cast<double>(rec.cost.rounds));
+    messages.push_back(static_cast<double>(rec.cost.messages));
+    topology.push_back(static_cast<double>(rec.cost.topology_changes));
+    result.total += rec.cost;
+
+    if (observer_) {
+      observer_(rec, overlay_);
+      // The observer holds a mutable overlay reference; drop any cached
+      // view components so the next strategy decision sees its effects.
+      cache.invalidate();
+    }
+    if (spec_.record_trace) result.trace.push_back(rec);
+  }
+
+  result.rounds = metrics::summarize(std::move(rounds));
+  result.messages = metrics::summarize(std::move(messages));
+  result.topology = metrics::summarize(std::move(topology));
+  result.final_n = overlay_.n();
+  return result;
+}
+
+// ------------------------------------------------------- strategy factory
+
+std::unique_ptr<adversary::Strategy> make_strategy(
+    const std::string& scenario, const StrategyOptions& opts) {
+  using namespace adversary;
+  if (scenario == "churn")
+    return std::make_unique<RandomChurn>(opts.insert_prob);
+  if (scenario == "insert-only") return std::make_unique<InsertOnly>();
+  if (scenario == "delete-only") return std::make_unique<DeleteOnly>();
+  if (scenario == "oscillate")
+    return std::make_unique<Oscillate>(opts.half_period);
+  if (scenario == "targeted") return std::make_unique<CoordinatorKiller>();
+  if (scenario == "load-attack") return std::make_unique<LoadAttack>();
+  if (scenario == "spectral") return std::make_unique<SpectralAttack>();
+  if (scenario == "greedy-spectral")
+    return std::make_unique<GreedySpectralDeletion>(opts.candidates);
+  return nullptr;
+}
+
+const char* strategy_names() {
+  return "churn, insert-only, delete-only, oscillate, targeted, load-attack, "
+         "spectral, greedy-spectral";
+}
+
+// --------------------------------------------------------------- emission
+
+std::string trace_csv(const ScenarioResult& result) {
+  metrics::CsvWriter csv({"step", "op", "target", "new_node", "n", "rounds",
+                          "messages", "topology_changes", "max_degree",
+                          "gap"});
+  for (const auto& r : result.trace) {
+    csv.add_row({std::to_string(r.step), r.insert ? "insert" : "delete",
+                 std::to_string(r.target),
+                 r.new_node == graph::kInvalidNode
+                     ? std::string()
+                     : std::to_string(r.new_node),
+                 std::to_string(r.n), std::to_string(r.cost.rounds),
+                 std::to_string(r.cost.messages),
+                 std::to_string(r.cost.topology_changes),
+                 std::to_string(r.max_degree),
+                 r.gap < 0 ? std::string() : metrics::format_double(r.gap)});
+  }
+  return csv.to_string();
+}
+
+namespace {
+
+metrics::JsonObject summary_obj(const metrics::Summary& s) {
+  metrics::JsonObject o;
+  o.add("mean", s.mean)
+      .add("p50", s.p50)
+      .add("p95", s.p95)
+      .add("p99", s.p99)
+      .add("max", s.max);
+  return o;
+}
+
+}  // namespace
+
+std::string summary_json(const ScenarioResult& result) {
+  const auto bounds = resolve_bounds(result.spec, result.start_n);
+  metrics::JsonObject o;
+  o.add("backend", result.backend);
+  if (!result.spec.label.empty()) o.add("scenario", result.spec.label);
+  o.add("seed", result.spec.seed)
+      .add("steps", static_cast<std::uint64_t>(result.rounds.count))
+      .add("start_n", static_cast<std::uint64_t>(result.start_n))
+      .add("min_n", static_cast<std::uint64_t>(bounds.min_n))
+      .add("max_n", static_cast<std::uint64_t>(bounds.max_n))
+      .add("warmup_steps",
+           static_cast<std::uint64_t>(result.spec.warmup_steps));
+  if (result.spec.warmup_steps > 0)
+    o.add("warmup_insert_prob", result.spec.warmup_insert_prob);
+  if (result.spec.gap_every > 0)
+    o.add("gap_every", static_cast<std::uint64_t>(result.spec.gap_every));
+  o.add("final_n", static_cast<std::uint64_t>(result.final_n))
+      .add("total_rounds", result.total.rounds)
+      .add("total_messages", result.total.messages)
+      .add("total_topology_changes", result.total.topology_changes)
+      .add("rounds", summary_obj(result.rounds))
+      .add("messages", summary_obj(result.messages))
+      .add("topology_changes", summary_obj(result.topology));
+  if (result.spec.measure_degree)
+    o.add("max_degree", static_cast<std::uint64_t>(result.max_degree));
+  if (result.spec.gap_every > 0) o.add("min_gap", result.min_gap);
+  return o.to_string();
+}
+
+}  // namespace dex::sim

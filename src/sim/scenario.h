@@ -1,0 +1,176 @@
+#pragma once
+
+/// \file scenario.h
+/// The scenario engine: drives any HealingOverlay with any
+/// adversary::Strategy under a declarative ScenarioSpec, producing a
+/// deterministic per-step trace (StepRecord stream) plus aggregate stats,
+/// emitted as CSV/JSON through src/metrics. Every bench, example and the
+/// CLI runs its churn through this one loop instead of hand-rolled
+/// per-backend drivers.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "metrics/stats.h"
+#include "sim/meters.h"
+#include "sim/overlay.h"
+
+namespace dex::sim {
+
+/// Declarative description of one experiment run. Everything that affects
+/// the trace is here (plus the strategy object), so spec + seed + overlay
+/// state fully determine the byte-exact output.
+struct ScenarioSpec {
+  std::uint64_t seed = 1;
+  /// Steps driven by the strategy (after warmup); each step is one churn
+  /// event.
+  std::size_t steps = 256;
+  /// Population bounds handed to the strategy. 0 means "derive from the
+  /// overlay's starting population": min = max(n0/2, 4), max = 2*n0.
+  /// Enforcement is the strategy's job; the single-sided workloads
+  /// (InsertOnly/DeleteOnly) deliberately ignore the opposite bound.
+  std::size_t min_n = 0;
+  std::size_t max_n = 0;
+  /// Warmup-then-attack: this many uniform random-churn steps run before
+  /// the strategy takes over. Warmup steps are not recorded in the trace.
+  std::size_t warmup_steps = 0;
+  double warmup_insert_prob = 0.5;
+  /// Sample the spectral gap every k recorded steps (0 = never). Sampled
+  /// records carry gap >= 0 (clamped at 0); others carry -1.
+  std::size_t gap_every = 0;
+  /// Record the max real degree each step (costs one snapshot scan).
+  bool measure_degree = false;
+  /// Materialize the StepRecord trace in the result. Aggregates are
+  /// computed either way; turn this off for long runs where only the
+  /// summary (or the step observer) is consumed.
+  bool record_trace = true;
+  /// Free-form scenario/strategy label identifying the workload in the
+  /// emitted summary. The summary records every ScenarioSpec parameter;
+  /// strategy-internal knobs (a Strategy is an opaque object) are the
+  /// caller's to archive — fold them into the label if they matter.
+  std::string label;
+};
+
+/// The population bounds a spec resolves to for a given starting
+/// population (0 means "derive": min = max(n0/2, 4), max = 2*n0). Shared by
+/// ScenarioRunner::run and anything validating a spec up front (the CLI) so
+/// the two can never disagree. Bounds are valid iff min_n >= 3 (the runner
+/// refuses to delete the network below 3 nodes) and min_n < max_n.
+struct ResolvedBounds {
+  std::size_t min_n = 0;
+  std::size_t max_n = 0;
+  [[nodiscard]] bool valid() const { return min_n >= 3 && min_n < max_n; }
+};
+[[nodiscard]] ResolvedBounds resolve_bounds(const ScenarioSpec& spec,
+                                            std::size_t n0);
+
+/// One recorded churn step.
+struct StepRecord {
+  std::uint64_t step = 0;
+  bool insert = true;
+  /// Attach point (insertions) or victim (deletions), as the strategy chose.
+  graph::NodeId target = graph::kInvalidNode;
+  /// Id of the inserted node; kInvalidNode for deletions.
+  graph::NodeId new_node = graph::kInvalidNode;
+  /// Population after the step.
+  std::size_t n = 0;
+  StepCost cost;
+  /// Max real degree after the step; 0 unless spec.measure_degree.
+  std::size_t max_degree = 0;
+  /// Spectral gap after the step; -1 unless sampled (spec.gap_every).
+  double gap = -1.0;
+};
+
+struct ScenarioResult {
+  std::string backend;
+  ScenarioSpec spec;
+  std::vector<StepRecord> trace;
+  /// Per-step cost summaries over the recorded trace.
+  metrics::Summary rounds;
+  metrics::Summary messages;
+  metrics::Summary topology;
+  /// Componentwise sum over the recorded trace.
+  StepCost total;
+  std::size_t max_degree = 0;  ///< max over trace (0 unless measured)
+  double min_gap = 1.0;        ///< min over sampled records (1.0 if none)
+  std::size_t start_n = 0;     ///< population when run() began
+  std::size_t final_n = 0;
+};
+
+/// AdversaryView over an overlay whose expensive components (alive_nodes,
+/// snapshot, alive_mask) are materialized at most once per step, however
+/// many times the strategy consults them. Call invalidate() after every
+/// mutation of the overlay.
+class CachedView {
+ public:
+  explicit CachedView(const HealingOverlay& overlay);
+
+  // The view's lambdas capture `this`; a copy or move would leave them
+  // wired to the source object's cache.
+  CachedView(const CachedView&) = delete;
+  CachedView& operator=(const CachedView&) = delete;
+
+  [[nodiscard]] const adversary::AdversaryView& view() const { return view_; }
+  void invalidate();
+
+ private:
+  const HealingOverlay& overlay_;
+  adversary::AdversaryView view_;
+  mutable std::optional<std::vector<graph::NodeId>> nodes_;
+  mutable std::optional<graph::Multigraph> snapshot_;
+  mutable std::optional<std::vector<bool>> mask_;
+};
+
+class ScenarioRunner {
+ public:
+  /// Called after each recorded step, before the next strategy decision.
+  using StepObserver =
+      std::function<void(const StepRecord&, HealingOverlay&)>;
+
+  ScenarioRunner(HealingOverlay& overlay, adversary::Strategy& strategy,
+                 ScenarioSpec spec);
+
+  void set_observer(StepObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Runs warmup + spec.steps strategy steps and returns the trace with
+  /// aggregates. Deterministic: same overlay state + spec + strategy state
+  /// in, byte-identical trace out.
+  ScenarioResult run();
+
+ private:
+  HealingOverlay& overlay_;
+  adversary::Strategy& strategy_;
+  ScenarioSpec spec_;
+  StepObserver observer_;
+};
+
+/// Strategy factory keyed by the scenario names the CLI exposes:
+/// "churn", "insert-only", "delete-only", "oscillate", "targeted"
+/// (coordinator killer), "load-attack", "spectral", "greedy-spectral".
+/// Returns nullptr for unknown names.
+struct StrategyOptions {
+  double insert_prob = 0.5;      ///< churn
+  std::size_t half_period = 32;  ///< oscillate
+  std::size_t candidates = 24;   ///< greedy-spectral
+};
+[[nodiscard]] std::unique_ptr<adversary::Strategy> make_strategy(
+    const std::string& scenario, const StrategyOptions& opts = {});
+
+/// Comma-separated list of valid scenario names (for usage messages).
+[[nodiscard]] const char* strategy_names();
+
+/// The full per-step trace as CSV (stable header, stable formatting):
+/// step,op,target,new_node,n,rounds,messages,topology_changes,max_degree,gap
+[[nodiscard]] std::string trace_csv(const ScenarioResult& result);
+
+/// Aggregates as a single JSON object.
+[[nodiscard]] std::string summary_json(const ScenarioResult& result);
+
+}  // namespace dex::sim
