@@ -5,15 +5,20 @@
 //     stdout as CSV and the aggregate summary to stderr as JSON:
 //
 //   $ ./dex_sim_cli --backend=flood --scenario=churn --n0=64 --steps=200
-//   $ ./dex_sim_cli --backend=dex-worstcase --scenario=targeted --seed=7
+//   $ ./dex_sim_cli --backend dex-worstcase --scenario churn --batch-size 16
 //
-//     Flags: --backend=NAME   (dex-amortized, dex-worstcase, flood, lawsiu,
+//     Flags (both --flag=VALUE and --flag VALUE forms work):
+//            --backend=NAME   (dex-amortized, dex-worstcase, flood, lawsiu,
 //                              randomflip, xheal)
 //            --scenario=NAME  (churn, insert-only, delete-only, oscillate,
 //                              targeted, load-attack, spectral,
-//                              greedy-spectral)
+//                              greedy-spectral, burst, flash-crowd,
+//                              mass-failure)
 //            --n0=N --steps=N --seed=S --min-n=N --max-n=N --warmup=N
 //            --insert-prob=P --gap-every=K --no-trace
+//            --batch-size=B   events per step (§5 batches; default 1)
+//            --burst=K        burst batch_size every K steps, single events
+//                             between (default 0 = batch every step)
 //
 // (2) Scripted mode (legacy) — drive a DexNetwork from a churn script
 //     (stdin or file), for reproducing traces, debugging adversarial
@@ -65,8 +70,19 @@ struct ScenarioArgs {
   bool trace = true;
 };
 
-bool parse_flag(const std::string& arg, const char* name, std::string& out) {
-  const std::string prefix = std::string("--") + name + "=";
+/// Accepts both `--name=value` and `--name value`: when arg is exactly
+/// `--name`, the value is consumed from the next argv slot (advancing i).
+bool parse_flag(int argc, char** argv, int& i, const char* name,
+                std::string& out) {
+  const std::string arg = argv[i];
+  const std::string flag = std::string("--") + name;
+  if (arg == flag) {
+    if (i + 1 >= argc)
+      throw std::invalid_argument("missing value for " + flag);
+    out = argv[++i];
+    return true;
+  }
+  const std::string prefix = flag + "=";
   if (arg.rfind(prefix, 0) != 0) return false;
   out = arg.substr(prefix.size());
   return true;
@@ -106,15 +122,18 @@ void print_usage(std::FILE* out) {
       "usage: dex_sim_cli [--backend=NAME] [--scenario=NAME] [--n0=N]\n"
       "                   [--steps=N] [--seed=S] [--min-n=N] [--max-n=N]\n"
       "                   [--warmup=N] [--insert-prob=P] [--gap-every=K]\n"
-      "                   [--no-trace]\n"
+      "                   [--batch-size=B] [--burst=K] [--no-trace]\n"
       "       dex_sim_cli [script-file]        (legacy scripted mode)\n"
       "\n"
+      "Flags take --flag=VALUE or --flag VALUE.\n"
       "backends:  %s\n"
       "scenarios: %s\n"
       "\n"
-      "Scenario mode prints the per-step CSV trace on stdout and a JSON\n"
-      "summary on stderr. Same --seed => same adversary decision sequence\n"
-      "across backends.\n",
+      "--batch-size drives B churn events per step through the batch-first\n"
+      "apply() surface (DEX heals feasible batches with parallel walks,\n"
+      "Cor. 2); --burst=K bursts only every K-th step. Scenario mode prints\n"
+      "the per-step CSV trace on stdout and a JSON summary on stderr. Same\n"
+      "--seed => same adversary decision sequence across backends.\n",
       dex::sim::overlay_names(), dex::sim::strategy_names());
 }
 
@@ -125,30 +144,37 @@ int run_scenario(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       std::string v;
-      if (parse_flag(arg, "backend", v)) {
+      if (parse_flag(argc, argv, i, "backend", v)) {
         a.backend = v;
-      } else if (parse_flag(arg, "scenario", v)) {
+      } else if (parse_flag(argc, argv, i, "scenario", v)) {
         a.scenario = v;
-      } else if (parse_flag(arg, "n0", v)) {
+      } else if (parse_flag(argc, argv, i, "n0", v)) {
         a.n0 = parse_u64(v);
-      } else if (parse_flag(arg, "seed", v)) {
+      } else if (parse_flag(argc, argv, i, "seed", v)) {
         a.seed = parse_u64(v);
-      } else if (parse_flag(arg, "steps", v)) {
+      } else if (parse_flag(argc, argv, i, "steps", v)) {
         a.spec.steps = parse_u64(v);
-      } else if (parse_flag(arg, "min-n", v)) {
+      } else if (parse_flag(argc, argv, i, "min-n", v)) {
         a.spec.min_n = parse_u64(v);
-      } else if (parse_flag(arg, "max-n", v)) {
+      } else if (parse_flag(argc, argv, i, "max-n", v)) {
         a.spec.max_n = parse_u64(v);
-      } else if (parse_flag(arg, "warmup", v)) {
+      } else if (parse_flag(argc, argv, i, "warmup", v)) {
         a.spec.warmup_steps = parse_u64(v);
-      } else if (parse_flag(arg, "insert-prob", v)) {
+      } else if (parse_flag(argc, argv, i, "insert-prob", v)) {
         a.opts.insert_prob = parse_double(v);
         if (!(a.opts.insert_prob >= 0.0 && a.opts.insert_prob <= 1.0)) {
           throw std::invalid_argument("--insert-prob must be in [0, 1], got " +
                                       v);
         }
-      } else if (parse_flag(arg, "gap-every", v)) {
+      } else if (parse_flag(argc, argv, i, "gap-every", v)) {
         a.spec.gap_every = parse_u64(v);
+      } else if (parse_flag(argc, argv, i, "batch-size", v)) {
+        a.spec.batch_size = parse_u64(v);
+        if (a.spec.batch_size == 0) {
+          throw std::invalid_argument("--batch-size must be >= 1");
+        }
+      } else if (parse_flag(argc, argv, i, "burst", v)) {
+        a.spec.burst_every = parse_u64(v);
       } else if (arg == "--no-trace") {
         a.trace = false;
       } else if (arg == "--help" || arg == "-h") {
@@ -173,7 +199,7 @@ int run_scenario(int argc, char** argv) {
   // Fold the strategy knob into the label so the archived summary records
   // the full workload, not just its name.
   a.spec.label = a.scenario;
-  if (a.scenario == "churn") {
+  if (a.scenario == "churn" || a.scenario == "burst") {
     char buf[48];
     std::snprintf(buf, sizeof(buf), "(insert_prob=%g)", a.opts.insert_prob);
     a.spec.label += buf;
@@ -183,6 +209,12 @@ int run_scenario(int argc, char** argv) {
   // The per-step degree scan only pays off when the trace is emitted.
   a.spec.measure_degree = a.trace;
   a.spec.record_trace = a.trace;
+  if (a.spec.burst_every > 0 && a.spec.batch_size <= 1) {
+    std::fprintf(stderr,
+                 "--burst only paces batches; give it something to pace "
+                 "with --batch-size > 1\n");
+    return 2;
+  }
   // Validate against the bounds the runner will actually use (a flag left
   // at 0 means "derive from n0" — see sim::resolve_bounds).
   const auto bounds = dex::sim::resolve_bounds(a.spec, a.n0);

@@ -1,7 +1,10 @@
 #include "adversary/adversary.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "graph/bfs.h"
 #include "graph/conductance.h"
 #include "support/assert.h"
 
@@ -17,7 +20,138 @@ bool must_delete(const AdversaryView& view, std::size_t max_n) {
   return view.n() >= max_n;
 }
 
+/// The population the batch builders never delete below: the driver's
+/// min_n, but at least 4 (the runner refuses to delete the network below 3
+/// nodes mid-batch).
+std::size_t delete_floor(std::size_t min_n) {
+  return std::max<std::size_t>(min_n, 4);
+}
+
+/// Uniform attach points over the survivors of `dying`, at most
+/// sim::kMaxAttachPerNode newcomers per node (§5's multiplicity cap).
+void push_capped_attaches(const AdversaryView& view, support::Rng& rng,
+                          const std::unordered_set<NodeId>& dying,
+                          std::size_t count,
+                          std::vector<NodeId>& attach_to) {
+  if (count == 0) return;
+  const auto nodes = view.alive_nodes();
+  std::unordered_map<NodeId, std::size_t> mult;
+  std::size_t placed = 0;
+  for (std::size_t tries = 0; placed < count && tries < 8 * count + 16;
+       ++tries) {
+    const NodeId a = nodes[rng.below(nodes.size())];
+    if (dying.contains(a) || mult[a] >= sim::kMaxAttachPerNode) continue;
+    attach_to.push_back(a);
+    ++mult[a];
+    ++placed;
+  }
+}
+
 }  // namespace
+
+// -------------------------------------------------------- batch machinery
+
+std::vector<NodeId> sample_safe_victims(const graph::Multigraph& g,
+                                        const std::vector<bool>& alive,
+                                        const std::vector<NodeId>& order,
+                                        std::size_t want) {
+  std::vector<NodeId> victims;
+  if (want == 0) return victims;
+  std::vector<bool> blocked(g.node_count(), false);
+  std::vector<std::uint32_t> lost(g.node_count(), 0);
+  for (NodeId v : order) {
+    if (victims.size() >= want) break;
+    if (v >= g.node_count() || !alive[v] || blocked[v]) continue;
+    // Victims are kept pairwise non-adjacent (neighbors get blocked), so a
+    // chosen victim's neighbors all survive — which already gives it a
+    // surviving neighbor, provided it has a non-self neighbor at all.
+    bool ok = false;
+    for (NodeId w : g.ports(v)) {
+      if (w != v) {
+        ok = true;
+        break;
+      }
+    }
+    // Don't orphan a survivor: w must keep an edge after losing the ports
+    // to v and to every previously chosen victim.
+    if (ok) {
+      for (NodeId w : g.ports(v)) {
+        if (w == v) continue;
+        std::size_t to_v = 0;
+        for (NodeId x : g.ports(w)) {
+          if (x == v) ++to_v;
+        }
+        if (g.degree(w) <= lost[w] + to_v) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    victims.push_back(v);
+    blocked[v] = true;
+    for (NodeId w : g.ports(v)) {
+      if (w == v) continue;
+      blocked[w] = true;
+      ++lost[w];
+    }
+  }
+  // Trim until the survivors are connected (rarely needed on expanders).
+  std::vector<bool> mask = alive;
+  for (NodeId v : victims) mask[v] = false;
+  while (!victims.empty() && !graph::is_connected(g, mask)) {
+    mask[victims.back()] = true;
+    victims.pop_back();
+  }
+  return victims;
+}
+
+sim::ChurnBatch Strategy::next_batch(const AdversaryView& view,
+                                     support::Rng& rng, std::size_t min_n,
+                                     std::size_t max_n,
+                                     std::size_t batch_size) {
+  sim::ChurnBatch batch;
+  std::unordered_set<NodeId> dying;
+  std::unordered_set<NodeId> attached;
+  // Project the population ourselves: next() keeps reading the stale
+  // pre-batch view, so its own bound enforcement cannot be trusted past
+  // the first event.
+  std::size_t n = view.n();
+  // A strategy that decides deterministically off the (stale) view keeps
+  // proposing the same event — e.g. CoordinatorKiller's fixed victim, or
+  // GreedySpectralDeletion re-running its expensive sweep to the same
+  // answer. A run of consecutive discards means the stale view has nothing
+  // new to offer; stop early instead of burning next() calls.
+  const std::size_t attempts = 4 * batch_size + 16;
+  std::size_t consecutive_discards = 0;
+  for (std::size_t a = 0; a < attempts && batch.size() < batch_size &&
+                          consecutive_discards < 8;
+       ++a) {
+    const ChurnAction act = next(view, rng, min_n, max_n);
+    if (act.insert) {
+      if (n >= max_n || dying.contains(act.target)) {
+        ++consecutive_discards;
+        continue;
+      }
+      batch.attach_to.push_back(act.target);
+      attached.insert(act.target);
+      ++n;
+    } else {
+      // Attach points must survive the batch, so a node already used as one
+      // cannot become a victim afterwards (and vice versa, above).
+      if (n <= delete_floor(min_n) || dying.contains(act.target) ||
+          attached.contains(act.target)) {
+        ++consecutive_discards;
+        continue;
+      }
+      batch.victims.push_back(act.target);
+      dying.insert(act.target);
+      --n;
+    }
+    consecutive_discards = 0;
+  }
+  return batch;
+}
 
 ChurnAction RandomChurn::next(const AdversaryView& view, support::Rng& rng,
                               std::size_t min_n, std::size_t max_n) {
@@ -152,12 +286,132 @@ ChurnAction GreedySpectralDeletion::next(const AdversaryView& view,
   return {false, best};
 }
 
+sim::ChurnBatch BurstChurn::next_batch(const AdversaryView& view,
+                                       support::Rng& rng, std::size_t min_n,
+                                       std::size_t max_n,
+                                       std::size_t batch_size) {
+  sim::ChurnBatch batch;
+  const std::size_t n = view.n();
+  std::size_t inserts = 0;
+  std::size_t deletes = 0;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    if (rng.chance(frac_)) {
+      ++inserts;
+    } else {
+      ++deletes;
+    }
+  }
+  inserts = std::min(inserts, max_n > n ? max_n - n : 0);
+  const std::size_t floor_n = delete_floor(min_n);
+  deletes = n > floor_n ? std::min(deletes, n - floor_n) : 0;
+
+  if (deletes > 0) {
+    const auto g = view.snapshot();
+    const auto mask = view.alive_mask();
+    auto order = view.alive_nodes();
+    rng.shuffle(order);
+    batch.victims = sample_safe_victims(g, mask, order, deletes);
+  }
+  const std::unordered_set<NodeId> dying(batch.victims.begin(),
+                                         batch.victims.end());
+  push_capped_attaches(view, rng, dying, inserts, batch.attach_to);
+  return batch;
+}
+
+ChurnAction FlashCrowd::next(const AdversaryView& view, support::Rng& rng,
+                             std::size_t /*min_n*/, std::size_t max_n) {
+  if (must_delete(view, max_n)) return {false, random_alive(view, rng)};
+  return {true, random_alive(view, rng)};
+}
+
+sim::ChurnBatch FlashCrowd::next_batch(const AdversaryView& view,
+                                       support::Rng& rng, std::size_t min_n,
+                                       std::size_t max_n,
+                                       std::size_t batch_size) {
+  sim::ChurnBatch batch;
+  const std::size_t n = view.n();
+  const std::size_t inserts =
+      std::min(batch_size, max_n > n ? max_n - n : 0);
+  if (inserts > 0) {
+    push_capped_attaches(view, rng, {}, inserts, batch.attach_to);
+    return batch;
+  }
+  // At the cap: a departure wave makes room for the next arrival wave.
+  const std::size_t floor_n = delete_floor(min_n);
+  const std::size_t deletes =
+      n > floor_n ? std::min(batch_size, n - floor_n) : 0;
+  const auto g = view.snapshot();
+  const auto mask = view.alive_mask();
+  auto order = view.alive_nodes();
+  rng.shuffle(order);
+  batch.victims = sample_safe_victims(g, mask, order, deletes);
+  return batch;
+}
+
+ChurnAction CorrelatedFailure::next(const AdversaryView& view,
+                                    support::Rng& rng, std::size_t min_n,
+                                    std::size_t /*max_n*/) {
+  if (must_insert(view, min_n)) return {true, random_alive(view, rng)};
+  return {false, random_alive(view, rng)};
+}
+
+sim::ChurnBatch CorrelatedFailure::next_batch(const AdversaryView& view,
+                                              support::Rng& rng,
+                                              std::size_t min_n,
+                                              std::size_t max_n,
+                                              std::size_t batch_size) {
+  sim::ChurnBatch batch;
+  const std::size_t n = view.n();
+  const std::size_t floor_n = delete_floor(min_n);
+  if (n <= floor_n) {
+    // At the floor: a recovery wave of insertions keeps the run alive.
+    const std::size_t inserts =
+        std::min(batch_size, max_n > n ? max_n - n : 0);
+    push_capped_attaches(view, rng, {}, inserts, batch.attach_to);
+    return batch;
+  }
+  const std::size_t deletes = std::min(batch_size, n - floor_n);
+  const auto g = view.snapshot();
+  const auto mask = view.alive_mask();
+  const auto nodes = view.alive_nodes();
+  // Victims cluster around a random epicenter: candidates ordered by BFS
+  // distance, nearest first (the safe sampler then thins the cluster to
+  // keep the §5 preconditions).
+  const NodeId epicenter = nodes[rng.below(nodes.size())];
+  const auto dist = graph::bfs_distances(g, epicenter, mask);
+  auto order = nodes;
+  std::stable_sort(order.begin(), order.end(), [&dist](NodeId a, NodeId b) {
+    return dist[a] < dist[b];
+  });
+  batch.victims = sample_safe_victims(g, mask, order, deletes);
+  if (batch.empty() && n < max_n) {
+    // Nothing safely deletable (tiny or fragile remainder): fall back to a
+    // single insertion so the scenario keeps making progress.
+    batch.attach_to.push_back(random_alive(view, rng));
+  }
+  return batch;
+}
+
 ChurnAction Scripted::next(const AdversaryView& view, support::Rng& rng,
                            std::size_t /*min_n*/, std::size_t /*max_n*/) {
   (void)view;
   (void)rng;
   DEX_ASSERT_MSG(at_ < script_.size(), "scripted adversary exhausted");
   return script_[at_++];
+}
+
+sim::ChurnBatch Scripted::next_batch(const AdversaryView& /*view*/,
+                                     support::Rng& /*rng*/,
+                                     std::size_t /*min_n*/,
+                                     std::size_t /*max_n*/,
+                                     std::size_t batch_size) {
+  sim::ChurnBatch batch;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    DEX_ASSERT_MSG(at_ < script_.size(), "scripted adversary exhausted");
+    const ChurnAction& a = script_[at_++];
+    (a.insert ? batch.attach_to : batch.victims).push_back(a.target);
+  }
+  return batch;
 }
 
 }  // namespace dex::adversary

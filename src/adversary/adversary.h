@@ -5,7 +5,9 @@
 /// unbounded, sees the entire network state (topology, loads, even the
 /// identity of the coordinator) and all *past* random choices; only the
 /// algorithm's future coin flips are hidden. Strategies here receive a full
-/// read-only view and emit one churn action per step.
+/// read-only view and emit one churn decision per step — a single event
+/// (next) or, batch-first since §5 became drivable, a whole sim::ChurnBatch
+/// (next_batch; the default wraps next, batch-native strategies override).
 ///
 /// Network-agnostic: every backend adapts to AdversaryView through the
 /// unified sim::HealingOverlay interface — sim::make_view(overlay) builds
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "graph/multigraph.h"
+#include "sim/churn.h"
 #include "support/prng.h"
 
 namespace dex::adversary {
@@ -56,12 +59,35 @@ class Strategy {
   virtual ChurnAction next(const AdversaryView& view, support::Rng& rng,
                            std::size_t min_n, std::size_t max_n) = 0;
 
+  /// Decides one *batch* step of up to `batch_size` events (§5 model). The
+  /// default wraps next(): it draws single events against the pre-batch
+  /// view, discarding picks that no longer make sense mid-batch (victims
+  /// chosen twice, attach points that are dying) and projecting the
+  /// population against min_n/max_n, so the returned batch is always
+  /// self-consistent — distinct alive victims, surviving attach points,
+  /// n - victims ≥ min_n, n + inserts ≤ max_n. Near a population bound the
+  /// batch may come back smaller than batch_size (even empty). Batch-native
+  /// strategies override this wholesale.
+  virtual sim::ChurnBatch next_batch(const AdversaryView& view,
+                                     support::Rng& rng, std::size_t min_n,
+                                     std::size_t max_n,
+                                     std::size_t batch_size);
+
  protected:
   static NodeId random_alive(const AdversaryView& view, support::Rng& rng) {
     const auto nodes = view.alive_nodes();
     return nodes[rng.below(nodes.size())];
   }
 };
+
+/// Greedy §5-safe deletion sampler shared by the batch-native strategies:
+/// scans `order` and keeps victims that are pairwise non-adjacent and leave
+/// every survivor at least one edge (hence every victim keeps a surviving
+/// neighbor), then trims from the back until the survivors are connected.
+/// Returns at most `want` victims; possibly fewer (never unsafe).
+[[nodiscard]] std::vector<NodeId> sample_safe_victims(
+    const graph::Multigraph& g, const std::vector<bool>& alive,
+    const std::vector<NodeId>& order, std::size_t want);
 
 /// Uniform churn: insert with probability `insert_prob`, both endpoints
 /// uniform. The baseline workload.
@@ -168,13 +194,75 @@ class GreedySpectralDeletion final : public Strategy {
   double insert_ratio_;
 };
 
-/// Replays a fixed script (tests).
+/// Burst churn, batch-native: each batch is a random insert/delete mix
+/// (insert fraction drawn around `insert_frac`), with the delete side drawn
+/// through sample_safe_victims and the insert side capped at
+/// sim::kMaxAttachPerNode per attach point — bursts deliberately satisfy
+/// the §5 preconditions so DEX's parallel path stays eligible.
+class BurstChurn final : public Strategy {
+ public:
+  explicit BurstChurn(double insert_frac = 0.5)
+      : frac_(insert_frac), single_(insert_frac) {}
+  /// Single-event fallback: exactly uniform churn at the burst's insert
+  /// fraction (delegates to RandomChurn — one bound-enforcement path).
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override {
+    return single_.next(view, rng, min_n, max_n);
+  }
+  sim::ChurnBatch next_batch(const AdversaryView& view, support::Rng& rng,
+                             std::size_t min_n, std::size_t max_n,
+                             std::size_t batch_size) override;
+
+ private:
+  double frac_;
+  RandomChurn single_;
+};
+
+/// Flash crowd, batch-native: waves of pure insertion (newcomers spread
+/// over uniform attach points, ≤ kMaxAttachPerNode each) until the
+/// population cap, then a §5-safe departure wave to make room — the
+/// heavy-traffic arrival pattern the ROADMAP asks for.
+class FlashCrowd final : public Strategy {
+ public:
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+  sim::ChurnBatch next_batch(const AdversaryView& view, support::Rng& rng,
+                             std::size_t min_n, std::size_t max_n,
+                             std::size_t batch_size) override;
+};
+
+/// Correlated mass failure, batch-native: picks a random epicenter and
+/// deletes a §5-safe subset of its BFS ball (victims clustered in one
+/// region of the topology, as in a rack/AS failure), inserting at the
+/// population floor to keep the scenario running.
+class CorrelatedFailure final : public Strategy {
+ public:
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+  sim::ChurnBatch next_batch(const AdversaryView& view, support::Rng& rng,
+                             std::size_t min_n, std::size_t max_n,
+                             std::size_t batch_size) override;
+};
+
+/// Replays a fixed script (tests). Exactly script.size() actions are
+/// allowed: next() and next_batch() abort (DEX_ASSERT, active in every
+/// build) when the script is exhausted — a driver asking for more steps
+/// than it scripted is a harness bug, not a workload. Check remaining() to
+/// size the run. next_batch replays the next batch_size actions verbatim,
+/// with none of the default wrapper's filtering: batch validity is the
+/// script author's responsibility.
 class Scripted final : public Strategy {
  public:
   explicit Scripted(std::vector<ChurnAction> script)
       : script_(std::move(script)) {}
   ChurnAction next(const AdversaryView& view, support::Rng& rng,
                    std::size_t min_n, std::size_t max_n) override;
+  sim::ChurnBatch next_batch(const AdversaryView& view, support::Rng& rng,
+                             std::size_t min_n, std::size_t max_n,
+                             std::size_t batch_size) override;
+
+  /// Actions left before next()/next_batch() would abort.
+  [[nodiscard]] std::size_t remaining() const { return script_.size() - at_; }
 
  private:
   std::vector<ChurnAction> script_;

@@ -1,6 +1,7 @@
 #include "dex/batch.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "graph/bfs.h"
@@ -11,16 +12,20 @@ namespace dex {
 
 namespace {
 
-/// Validates the deletion set: victims alive, remainder connected, every
-/// victim has a surviving neighbor.
-void validate_deletions(const DexNetwork& net,
-                        const std::vector<NodeId>& victims) {
-  std::unordered_set<NodeId> dying(victims.begin(), victims.end());
-  DEX_ASSERT_MSG(dying.size() == victims.size(), "duplicate victims");
-  DEX_ASSERT_MSG(dying.size() + 2 <= net.n(), "batch would empty the network");
+/// The one §5 precondition checker (duplicates, population floor, surviving
+/// neighbors, attach survival + multiplicity cap, remainder connectivity).
+/// Returns nullptr when `req` is valid, else a description of the first
+/// violation — batch_feasible and apply_batch's assert path both consume
+/// this, so the fatal and non-fatal checks can never drift apart.
+const char* precondition_violation(const DexNetwork& net,
+                                   const BatchRequest& req) {
+  std::unordered_set<NodeId> dying(req.deletions.begin(),
+                                   req.deletions.end());
+  if (dying.size() != req.deletions.size()) return "duplicate victims";
+  if (dying.size() + 2 > net.n()) return "batch would empty the network";
   std::vector<std::uint64_t> ports;
-  for (NodeId v : victims) {
-    DEX_ASSERT_MSG(net.alive(v), "victim not alive");
+  for (NodeId v : req.deletions) {
+    if (!net.alive(v)) return "victim not alive";
     net.ports_of(v, ports);
     bool has_survivor = false;
     for (std::uint64_t t : ports) {
@@ -30,19 +35,37 @@ void validate_deletions(const DexNetwork& net,
         break;
       }
     }
-    DEX_ASSERT_MSG(has_survivor, "victim would have no surviving neighbor");
+    if (!has_survivor) return "victim would have no surviving neighbor";
   }
-  // Remainder connectivity.
-  auto g = net.snapshot();
-  std::vector<bool> alive = net.alive_mask();
-  for (NodeId v : victims) alive[v] = false;
-  DEX_ASSERT_MSG(graph::is_connected(g, alive),
-                 "deletions would disconnect the network");
+  std::unordered_map<NodeId, std::size_t> mult;
+  for (NodeId a : req.attach_to) {
+    if (!net.alive(a) || dying.contains(a))
+      return "attach target must survive the batch";
+    if (++mult[a] > sim::kMaxAttachPerNode)
+      return "attach multiplicity exceeds the O(1) cap";
+  }
+  if (!req.deletions.empty()) {
+    auto g = net.snapshot();
+    std::vector<bool> alive = net.alive_mask();
+    for (NodeId v : req.deletions) alive[v] = false;
+    if (!graph::is_connected(g, alive))
+      return "deletions would disconnect the network";
+  }
+  return nullptr;
 }
 
 }  // namespace
 
-BatchResult apply_batch(DexNetwork& net, const BatchRequest& req) {
+bool batch_feasible(const DexNetwork& net, const BatchRequest& req) {
+  if (net.params().mode != RecoveryMode::Amortized ||
+      net.staggered_active()) {
+    return false;
+  }
+  return precondition_violation(net, req) == nullptr;
+}
+
+BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
+                        bool prevalidated) {
   BatchResult res;
   auto& rng = net.rng();
   auto& meter = net.meter_mut();
@@ -50,12 +73,10 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req) {
   DEX_ASSERT_MSG(!net.staggered_active(),
                  "batch steps use the simplified (amortized) rebuilds; run "
                  "the network in RecoveryMode::Amortized");
-  validate_deletions(net, req.deletions);
-  std::unordered_set<NodeId> dying(req.deletions.begin(),
-                                   req.deletions.end());
-  for (NodeId a : req.attach_to)
-    DEX_ASSERT_MSG(net.alive(a) && !dying.contains(a),
-                   "attach target must survive the batch");
+  if (!prevalidated) {
+    const char* violation = precondition_violation(net, req);
+    DEX_ASSERT_MSG(violation == nullptr, violation);
+  }
 
   const std::uint64_t walk_len = std::max<std::uint64_t>(
       2, support::scaled_log(net.params().walk_factor,
@@ -122,7 +143,25 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req) {
       t.tag = static_cast<std::uint32_t>(i);
       tokens.push_back(t);
     }
-    auto walk = sim::run_walks(std::move(tokens), ports_fn, rng, round_limit);
+    // Early accept, like the single-event type-1 walk: a token settles at
+    // the first valid redistribution target it steps onto. The pending map
+    // projects this epoch's tentative settlements against the 4ζ cap so the
+    // parallel tokens don't stampede one Low node (the post-walk transfer
+    // loop re-validates against live state either way).
+    std::unordered_map<NodeId, std::uint64_t> pending;
+    const std::uint64_t cap = net.params().max_load();
+    sim::AcceptFn accept_target = [&](std::uint64_t loc) {
+      const NodeId w = static_cast<NodeId>(loc);
+      const bool ok =
+          net.redistribution_target_ok(w) ||
+          (relaxed && net.alive(w) && net.mapping().load(w) < cap);
+      if (!ok) return false;
+      if (net.mapping().load(w) + pending[w] >= cap) return false;
+      ++pending[w];
+      return true;
+    };
+    auto walk = sim::run_walks(std::move(tokens), ports_fn, rng, round_limit,
+                               accept_target);
     meter.add_rounds(walk.rounds);
     meter.add_messages(walk.messages);
     std::vector<Vertex> remaining;
@@ -153,13 +192,17 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req) {
   struct Pending {
     NodeId node;
     NodeId attach;
+    std::uint32_t orig;  ///< index into req.attach_to (result ordering)
   };
   std::vector<Pending> pending;
-  for (NodeId a : req.attach_to) {
+  // Tokens settle in an arbitrary order across epochs; write results by
+  // original index so BatchResult::inserted matches attach_to order.
+  res.inserted.assign(req.attach_to.size(), kInvalidNode);
+  for (std::uint32_t i = 0; i < req.attach_to.size(); ++i) {
     const NodeId u = net.allocate_node();
     // allocate_node leaves the node dead; activate it.
     // (Insertion bookkeeping is done through the public hook below.)
-    pending.push_back({u, a});
+    pending.push_back({u, req.attach_to[i], i});
   }
   // Activate newcomers.
   for (const auto& pnd : pending) net.activate_node(pnd.node);
@@ -174,7 +217,18 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req) {
       t.tag = static_cast<std::uint32_t>(i);
       tokens.push_back(t);
     }
-    auto walk = sim::run_walks(std::move(tokens), ports_fn, rng, round_limit);
+    // Early accept at Spare hosts (one tentative donation per host and
+    // epoch — try_assign_spare_vertex re-validates on live state below).
+    std::unordered_map<NodeId, std::uint64_t> claimed;
+    sim::AcceptFn accept_host = [&](std::uint64_t loc) {
+      const NodeId w = static_cast<NodeId>(loc);
+      if (!net.alive(w) || !net.mapping().in_spare(w)) return false;
+      if (claimed[w] > 0) return false;
+      ++claimed[w];
+      return true;
+    };
+    auto walk = sim::run_walks(std::move(tokens), ports_fn, rng, round_limit,
+                               accept_host);
     meter.add_rounds(walk.rounds);
     meter.add_messages(walk.messages);
     std::vector<Pending> remaining;
@@ -184,7 +238,7 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req) {
       if (!t.finished || !net.try_assign_spare_vertex(pnd.node, w)) {
         remaining.push_back(pnd);
       } else {
-        res.inserted.push_back(pnd.node);
+        res.inserted[pnd.orig] = pnd.node;
       }
     }
     pending.swap(remaining);

@@ -11,11 +11,19 @@
 /// congestion) and falls back to simplifiedInfl/simplifiedDefl when the
 /// Spare/Low thresholds cannot be met — O(n log² n) messages and O(log³ n)
 /// rounds per batch (Cor. 2).
+///
+/// Since the batch-first API redesign this path is no longer a side door:
+/// sim::DexOverlay::apply(const sim::ChurnBatch&) routes every multi-event
+/// batch through apply_batch whenever batch_feasible() holds (amortized
+/// mode, no staggered rebuild in flight, §5 preconditions met), so every
+/// scenario, bench and the CLI reach it through the unified
+/// sim::HealingOverlay interface.
 
 #include <cstdint>
 #include <vector>
 
 #include "dex/network.h"
+#include "sim/churn.h"
 #include "sim/meters.h"
 
 namespace dex {
@@ -30,14 +38,28 @@ struct BatchRequest {
 };
 
 struct BatchResult {
-  std::vector<NodeId> inserted;  ///< ids of the new nodes
+  std::vector<NodeId> inserted;  ///< ids of the new nodes, in attach_to order
   sim::StepCost cost;
   bool used_type2 = false;
   std::uint64_t walk_epochs = 0;
 };
 
 /// Applies one batch step. Aborts (DEX_ASSERT) if the request violates the
-/// model's preconditions.
-BatchResult apply_batch(DexNetwork& net, const BatchRequest& req);
+/// model's preconditions. `prevalidated = true` skips the O(m)
+/// precondition re-check (snapshot + connectivity BFS) — pass it only when
+/// batch_feasible() was just consulted on the unchanged network, as
+/// DexOverlay::apply does.
+BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
+                        bool prevalidated = false);
+
+/// Non-fatal §5 precondition check: true iff `req` can be handed to
+/// apply_batch without tripping its asserts — network in amortized mode
+/// with no staggered rebuild in flight, victims distinct/alive, every
+/// victim keeps a surviving neighbor, survivors stay connected, attach
+/// points alive and surviving, and at most sim::kMaxAttachPerNode
+/// newcomers per attach point (the paper's O(1) attach multiplicity).
+/// sim::DexOverlay::apply consults this to decide parallel vs. sequential.
+[[nodiscard]] bool batch_feasible(const DexNetwork& net,
+                                  const BatchRequest& req);
 
 }  // namespace dex

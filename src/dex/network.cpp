@@ -77,6 +77,17 @@ graph::Multigraph DexNetwork::snapshot() const {
   return g;
 }
 
+std::size_t DexNetwork::max_degree() const {
+  std::vector<std::uint64_t> ports;
+  std::size_t best = 0;
+  for (NodeId u = 0; u < alive_.size(); ++u) {
+    if (!alive_[u]) continue;
+    ports_of(u, ports);
+    best = std::max(best, ports.size());
+  }
+  return best;
+}
+
 void DexNetwork::ports_of(NodeId u, std::vector<std::uint64_t>& out) const {
   out.clear();
   for (Vertex z : map_.sim(u)) {

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file churn.h
+/// The batch-first churn primitives shared by the whole experiment stack.
+///
+/// §5 of the paper (Corollary 2) lets the adversary insert or delete up to
+/// εn nodes *in one step*; DEX heals the whole batch in O(log³ n) rounds by
+/// running the redistribution walks in parallel. ChurnBatch is the unit of
+/// churn everywhere: adversary::Strategy emits one per step (next_batch),
+/// HealingOverlay absorbs one per step (apply), and the ScenarioRunner
+/// records one StepRecord per batch. A single-event step is simply a batch
+/// of size one, so the PR-1 single-event surface survives as a wrapper.
+///
+/// This header sits below both sim/overlay.h and adversary/adversary.h (it
+/// depends only on graph ids and the cost meter types) so the two layers can
+/// exchange batches without a dependency cycle.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "sim/meters.h"
+
+namespace dex::sim {
+
+/// One step's worth of churn: every victim is deleted and every attach point
+/// receives one newcomer, all within the same step. Canonical single-event
+/// equivalence (used by the default sequential HealingOverlay::apply and the
+/// conformance tests): deletions first, in order, then insertions, in order.
+///
+/// Contract for producers (strategies): victims are distinct and alive,
+/// attach points are alive and not victims of the same batch. The §5
+/// preconditions for DEX's *parallel* path (attach multiplicity ≤
+/// kMaxAttachPerNode, every victim keeps a surviving neighbor, survivors
+/// stay connected) are checked by the overlay, which falls back to the
+/// sequential path when they do not hold — so producers need not guarantee
+/// them, merely aim for them when they want the parallel path measured.
+struct ChurnBatch {
+  /// Attach point for each node to insert (one newcomer per entry; entries
+  /// may repeat).
+  std::vector<graph::NodeId> attach_to;
+  /// Nodes to delete.
+  std::vector<graph::NodeId> victims;
+
+  [[nodiscard]] std::size_t size() const {
+    return attach_to.size() + victims.size();
+  }
+  [[nodiscard]] bool empty() const {
+    return attach_to.empty() && victims.empty();
+  }
+};
+
+/// §5 precondition: at most O(1) newcomers attach to any single node. The
+/// concrete constant used by DEX's batch feasibility check.
+inline constexpr std::size_t kMaxAttachPerNode = 4;
+
+/// What one HealingOverlay::apply call did.
+struct BatchOutcome {
+  /// Ids of the inserted nodes, in attach_to order.
+  std::vector<graph::NodeId> inserted;
+  /// Cost of the whole batch. Sequential application sums the per-event
+  /// step costs (rounds included: the events happen one after another);
+  /// DEX's parallel path reports the genuinely parallel round count — the
+  /// sequential-vs-parallel rounds comparison of Corollary 2.
+  StepCost cost;
+  /// Parallel path only: walk epochs run (0 on the sequential path).
+  std::uint64_t walk_epochs = 0;
+  /// Whether a type-2 rebuild (inflate/deflate) fired during the batch.
+  bool used_type2 = false;
+  /// True when the overlay routed the batch through a parallel recovery
+  /// path rather than the sequential event loop.
+  bool parallel = false;
+};
+
+}  // namespace dex::sim

@@ -1,8 +1,26 @@
 #include "sim/overlay.h"
 
+#include "dex/batch.h"
 #include "graph/generators.h"
 
 namespace dex::sim {
+
+BatchOutcome DexOverlay::apply(const ChurnBatch& batch) {
+  if (!parallel_batches_ || batch.size() <= 1) {
+    return apply_sequential(batch);
+  }
+  dex::BatchRequest req{batch.attach_to, batch.victims};
+  if (!dex::batch_feasible(net_, req)) return apply_sequential(batch);
+  const dex::BatchResult res =
+      dex::apply_batch(net_, req, /*prevalidated=*/true);
+  BatchOutcome out;
+  out.inserted = res.inserted;
+  out.cost = res.cost;
+  out.walk_epochs = res.walk_epochs;
+  out.used_type2 = res.used_type2;
+  out.parallel = true;
+  return out;
+}
 
 std::unique_ptr<HealingOverlay> make_overlay(const std::string& backend,
                                              std::size_t n0,

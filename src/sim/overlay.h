@@ -7,11 +7,17 @@
 /// recovery flavours, the flooding strawman of §3, the Law–Siu overlay [18],
 /// the flip-chain overlay [6, 23], and Xheal-with-guaranteed-patches [24].
 ///
-/// Anything that can (a) absorb one adversarial insertion or deletion per
-/// step and (b) expose its topology and per-step cost is a HealingOverlay;
-/// the ScenarioRunner (sim/scenario.h), the adversary strategies (via
-/// make_view), the benches and the CLI all operate on this interface and are
-/// therefore backend-agnostic.
+/// Anything that can (a) absorb one ChurnBatch per step — one or many
+/// adversarial insertions/deletions healed within the step — and (b) expose
+/// its topology and per-step cost is a HealingOverlay; the ScenarioRunner
+/// (sim/scenario.h), the adversary strategies (via make_view), the benches
+/// and the CLI all operate on this interface and are therefore
+/// backend-agnostic. The churn surface is batch-first (§5, Corollary 2):
+/// apply(ChurnBatch) is the primitive, with a default sequential
+/// implementation over the single-event insert()/remove() hooks, which
+/// remain the per-event customization points (and convenience wrappers for
+/// callers with one event). DexOverlay overrides apply() to run the
+/// parallel-walk batch recovery of src/dex/batch.h.
 
 #include <algorithm>
 #include <cstdint>
@@ -25,6 +31,7 @@
 #include "baselines/random_flip.h"
 #include "dex/network.h"
 #include "graph/multigraph.h"
+#include "sim/churn.h"
 #include "sim/meters.h"
 #include "xheal/xheal.h"
 
@@ -39,7 +46,35 @@ class HealingOverlay {
   /// Stable identifier ("dex-worstcase", "flood", …) used in emitted traces.
   [[nodiscard]] virtual const char* name() const = 0;
 
-  // ----- the adversary interface of §2: one churn event per step -----
+  // ----- the churn interface: one ChurnBatch per step (§2 is the
+  // batch-of-one special case; §5 is the general one) -----
+
+  /// Applies one batch: every victim deleted and every attach point given
+  /// one newcomer, healed within the step. This default is the *sequential*
+  /// reference implementation — victims in order, then insertions in order,
+  /// costs summed (the events happen one after another, so rounds add up).
+  /// Backends with a genuinely parallel batch recovery (DexOverlay)
+  /// override it; apply_sequential() stays callable on any overlay as the
+  /// comparison baseline.
+  virtual BatchOutcome apply(const ChurnBatch& batch) {
+    return apply_sequential(batch);
+  }
+
+  /// The default sequential batch application (see apply()). Non-virtual:
+  /// always the event-by-event path, whatever the dynamic type — the
+  /// sequential side of the paper's sequential-vs-parallel comparison.
+  BatchOutcome apply_sequential(const ChurnBatch& batch) {
+    BatchOutcome out;
+    for (NodeId v : batch.victims) {
+      remove(v);
+      out.cost += last_step_cost();
+    }
+    for (NodeId a : batch.attach_to) {
+      out.inserted.push_back(insert(a));
+      out.cost += last_step_cost();
+    }
+    return out;
+  }
 
   /// Inserts one node. `attach_to` is the adversary's chosen attachment
   /// point; constructions that splice newcomers in on their own (Law–Siu,
@@ -144,6 +179,19 @@ class DexOverlay final : public HealingOverlay {
                                                      : "dex-worstcase") {}
 
   [[nodiscard]] const char* name() const override { return name_; }
+
+  /// Routes multi-event batches through the §5 parallel-walk recovery
+  /// (dex::apply_batch) whenever dex::batch_feasible says the request meets
+  /// the model's preconditions (amortized mode, no staggered rebuild,
+  /// connectivity/multiplicity conditions); anything else — single events,
+  /// worst-case mode, infeasible batches — takes the sequential default, so
+  /// every batch workload runs end-to-end on every DEX flavour.
+  BatchOutcome apply(const ChurnBatch& batch) override;
+
+  /// Parallel batch recovery on/off (default on). The benches flip this to
+  /// measure the sequential baseline on the same backend.
+  void set_parallel_batches(bool enabled) { parallel_batches_ = enabled; }
+
   NodeId insert(NodeId attach_to) override { return net_.insert(attach_to); }
   void remove(NodeId victim) override { net_.remove(victim); }
   [[nodiscard]] std::size_t n() const override { return net_.n(); }
@@ -159,6 +207,11 @@ class DexOverlay final : public HealingOverlay {
   }
   [[nodiscard]] std::size_t load(NodeId u) const override {
     return static_cast<std::size_t>(net_.total_load(u));
+  }
+  /// Ports-derived scan, no snapshot materialization (the inherited default
+  /// would allocate a full multigraph every measured step).
+  [[nodiscard]] std::size_t max_degree() const override {
+    return net_.max_degree();
   }
   [[nodiscard]] NodeId special_node() const override {
     return net_.coordinator();
@@ -177,6 +230,7 @@ class DexOverlay final : public HealingOverlay {
  private:
   DexNetwork net_;
   const char* name_;
+  bool parallel_batches_ = true;
 };
 
 class FloodRebuildOverlay final : public HealingOverlay {

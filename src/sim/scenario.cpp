@@ -1,6 +1,7 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 #include "graph/spectral.h"
@@ -47,12 +48,63 @@ void apply_action(HealingOverlay& overlay, const adversary::ChurnAction& a,
     DEX_ASSERT_MSG(overlay.alive(a.target),
                    "strategy chose a dead attach point");
     rec.new_node = overlay.insert(a.target);
+    rec.batch_inserts = 1;
   } else {
     DEX_ASSERT_MSG(overlay.alive(a.target), "strategy chose a dead victim");
     DEX_ASSERT_MSG(overlay.n() > 2, "scenario would delete the network away");
     overlay.remove(a.target);
     rec.new_node = graph::kInvalidNode;
+    rec.batch_deletes = 1;
   }
+}
+
+/// Sanity checks on a strategy-produced batch before it reaches the
+/// overlay: the per-event contract of ChurnBatch (alive, distinct victims,
+/// attach points surviving) plus the runner's own never-empty-the-network
+/// rule. Feasibility for DEX's parallel path is *not* required here — the
+/// overlay falls back to the sequential path on its own.
+void validate_batch(const HealingOverlay& overlay,
+                    const sim::ChurnBatch& batch) {
+  DEX_ASSERT_MSG(overlay.n() > batch.victims.size() + 2,
+                 "batch would delete the network away");
+  std::unordered_set<graph::NodeId> seen;
+  seen.reserve(batch.victims.size());
+  for (graph::NodeId v : batch.victims) {
+    DEX_ASSERT_MSG(overlay.alive(v), "strategy chose a dead victim");
+    DEX_ASSERT_MSG(seen.insert(v).second,
+                   "strategy chose the same victim twice in one batch");
+  }
+  for (graph::NodeId a : batch.attach_to) {
+    DEX_ASSERT_MSG(overlay.alive(a), "strategy chose a dead attach point");
+    DEX_ASSERT_MSG(!seen.contains(a),
+                   "strategy attached a newcomer to a batch victim");
+  }
+}
+
+/// One batch step through the unified apply() surface; fills the record's
+/// per-event fields when the batch happens to be a single event (so
+/// batch_size=1 traces keep the PR-1 shape) and returns the outcome for
+/// aggregate bookkeeping.
+BatchOutcome apply_batch_step(HealingOverlay& overlay,
+                              const sim::ChurnBatch& batch,
+                              StepRecord& rec) {
+  validate_batch(overlay, batch);
+  const BatchOutcome out = overlay.apply(batch);
+  rec.cost = out.cost;
+  rec.batch_inserts = batch.attach_to.size();
+  rec.batch_deletes = batch.victims.size();
+  rec.walk_epochs = out.walk_epochs;
+  rec.used_type2 = out.used_type2;
+  if (batch.size() == 1) {
+    rec.insert = !batch.attach_to.empty();
+    rec.target = rec.insert ? batch.attach_to.front() : batch.victims.front();
+    rec.new_node = rec.insert ? out.inserted.front() : graph::kInvalidNode;
+  } else {
+    rec.insert = false;
+    rec.target = graph::kInvalidNode;
+    rec.new_node = graph::kInvalidNode;
+  }
+  return out;
 }
 
 }  // namespace
@@ -103,11 +155,30 @@ ScenarioResult ScenarioRunner::run() {
   for (std::size_t t = 0; t < spec_.steps; ++t) {
     StepRecord rec;
     rec.step = t;
-    apply_action(overlay_, strategy_.next(view, rng, min_n, max_n), rec);
-    cache.invalidate();
+    // Burst pattern: every step is a batch when burst_every is 0; otherwise
+    // only every burst_every-th step bursts and the rest are single events.
+    const bool burst = spec_.burst_every == 0 || t % spec_.burst_every == 0;
+    const std::size_t want =
+        burst ? std::max<std::size_t>(spec_.batch_size, 1) : 1;
+    if (want <= 1) {
+      // Single-event steps keep the exact PR-1 path (one next() draw, one
+      // insert()/remove() call) so legacy specs reproduce byte-identically.
+      apply_action(overlay_, strategy_.next(view, rng, min_n, max_n), rec);
+      cache.invalidate();
+      rec.cost = overlay_.last_step_cost();
+    } else {
+      const sim::ChurnBatch batch =
+          strategy_.next_batch(view, rng, min_n, max_n, want);
+      const BatchOutcome out = apply_batch_step(overlay_, batch, rec);
+      cache.invalidate();
+      if (out.parallel) ++result.parallel_steps;
+    }
 
     rec.n = overlay_.n();
-    rec.cost = overlay_.last_step_cost();
+    result.total_inserts += rec.batch_inserts;
+    result.total_deletes += rec.batch_deletes;
+    result.total_walk_epochs += rec.walk_epochs;
+    if (rec.used_type2) ++result.type2_steps;
     if (spec_.measure_degree) {
       rec.max_degree = overlay_.max_degree();
       result.max_degree = std::max(result.max_degree, rec.max_degree);
@@ -158,29 +229,41 @@ std::unique_ptr<adversary::Strategy> make_strategy(
   if (scenario == "spectral") return std::make_unique<SpectralAttack>();
   if (scenario == "greedy-spectral")
     return std::make_unique<GreedySpectralDeletion>(opts.candidates);
+  if (scenario == "burst")
+    return std::make_unique<BurstChurn>(opts.insert_prob);
+  if (scenario == "flash-crowd") return std::make_unique<FlashCrowd>();
+  if (scenario == "mass-failure")
+    return std::make_unique<CorrelatedFailure>();
   return nullptr;
 }
 
 const char* strategy_names() {
   return "churn, insert-only, delete-only, oscillate, targeted, load-attack, "
-         "spectral, greedy-spectral";
+         "spectral, greedy-spectral, burst, flash-crowd, mass-failure";
 }
 
 // --------------------------------------------------------------- emission
 
 std::string trace_csv(const ScenarioResult& result) {
   metrics::CsvWriter csv({"step", "op", "target", "new_node", "n", "rounds",
-                          "messages", "topology_changes", "max_degree",
-                          "gap"});
+                          "messages", "topology_changes", "batch_inserts",
+                          "batch_deletes", "walk_epochs", "used_type2",
+                          "max_degree", "gap"});
   for (const auto& r : result.trace) {
-    csv.add_row({std::to_string(r.step), r.insert ? "insert" : "delete",
-                 std::to_string(r.target),
+    const bool single = r.batch_inserts + r.batch_deletes == 1;
+    csv.add_row({std::to_string(r.step),
+                 single ? (r.insert ? "insert" : "delete") : "batch",
+                 r.target == graph::kInvalidNode ? std::string()
+                                                 : std::to_string(r.target),
                  r.new_node == graph::kInvalidNode
                      ? std::string()
                      : std::to_string(r.new_node),
                  std::to_string(r.n), std::to_string(r.cost.rounds),
                  std::to_string(r.cost.messages),
                  std::to_string(r.cost.topology_changes),
+                 std::to_string(r.batch_inserts),
+                 std::to_string(r.batch_deletes),
+                 std::to_string(r.walk_epochs), r.used_type2 ? "1" : "0",
                  std::to_string(r.max_degree),
                  r.gap < 0 ? std::string() : metrics::format_double(r.gap)});
   }
@@ -208,11 +291,22 @@ std::string summary_json(const ScenarioResult& result) {
   if (!result.spec.label.empty()) o.add("scenario", result.spec.label);
   o.add("seed", result.spec.seed)
       .add("steps", static_cast<std::uint64_t>(result.rounds.count))
+      .add("batch_size", static_cast<std::uint64_t>(result.spec.batch_size))
       .add("start_n", static_cast<std::uint64_t>(result.start_n))
       .add("min_n", static_cast<std::uint64_t>(bounds.min_n))
       .add("max_n", static_cast<std::uint64_t>(bounds.max_n))
       .add("warmup_steps",
            static_cast<std::uint64_t>(result.spec.warmup_steps));
+  if (result.spec.burst_every > 0)
+    o.add("burst_every", static_cast<std::uint64_t>(result.spec.burst_every));
+  o.add("batch_inserts_total",
+        static_cast<std::uint64_t>(result.total_inserts))
+      .add("batch_deletes_total",
+           static_cast<std::uint64_t>(result.total_deletes))
+      .add("total_walk_epochs", result.total_walk_epochs)
+      .add("type2_steps", static_cast<std::uint64_t>(result.type2_steps))
+      .add("parallel_steps",
+           static_cast<std::uint64_t>(result.parallel_steps));
   if (result.spec.warmup_steps > 0)
     o.add("warmup_insert_prob", result.spec.warmup_insert_prob);
   if (result.spec.gap_every > 0)

@@ -27,9 +27,18 @@ namespace dex::sim {
 /// state fully determine the byte-exact output.
 struct ScenarioSpec {
   std::uint64_t seed = 1;
-  /// Steps driven by the strategy (after warmup); each step is one churn
-  /// event.
+  /// Steps driven by the strategy (after warmup); each step is one
+  /// ChurnBatch (one churn event when batch_size is 1, the default).
   std::size_t steps = 256;
+  /// Events per batch step (§5 model). 1 = the classic single-event
+  /// adversary of §2; >1 asks the strategy for up-to-this-many-event
+  /// batches via next_batch (near a population bound a batch may come back
+  /// smaller).
+  std::size_t batch_size = 1;
+  /// Burst pattern: 0 = every step uses batch_size; k >= 1 = only every
+  /// k-th step (t % k == 0) is a batch_size burst, the steps between are
+  /// single events — calm-then-burst workloads from one knob.
+  std::size_t burst_every = 0;
   /// Population bounds handed to the strategy. 0 means "derive from the
   /// overlay's starting population": min = max(n0/2, 4), max = 2*n0.
   /// Enforcement is the strategy's job; the single-sided workloads
@@ -69,17 +78,28 @@ struct ResolvedBounds {
 [[nodiscard]] ResolvedBounds resolve_bounds(const ScenarioSpec& spec,
                                             std::size_t n0);
 
-/// One recorded churn step.
+/// One recorded step = one applied ChurnBatch. Single-event batches keep
+/// the PR-1 per-event fields (insert/target/new_node) populated; multi-event
+/// batches carry the batch columns and leave target/new_node at
+/// kInvalidNode (emitted blank in the CSV, op = "batch").
 struct StepRecord {
   std::uint64_t step = 0;
   bool insert = true;
-  /// Attach point (insertions) or victim (deletions), as the strategy chose.
+  /// Attach point (insertions) or victim (deletions), as the strategy
+  /// chose; kInvalidNode for multi-event batches.
   graph::NodeId target = graph::kInvalidNode;
-  /// Id of the inserted node; kInvalidNode for deletions.
+  /// Id of the inserted node; kInvalidNode for deletions and batches.
   graph::NodeId new_node = graph::kInvalidNode;
   /// Population after the step.
   std::size_t n = 0;
   StepCost cost;
+  /// Batch composition: insertions / deletions applied this step.
+  std::size_t batch_inserts = 0;
+  std::size_t batch_deletes = 0;
+  /// Parallel-walk epochs the batch needed (0 on the sequential path).
+  std::uint64_t walk_epochs = 0;
+  /// Whether a type-2 rebuild fired inside the batch.
+  bool used_type2 = false;
   /// Max real degree after the step; 0 unless spec.measure_degree.
   std::size_t max_degree = 0;
   /// Spectral gap after the step; -1 unless sampled (spec.gap_every).
@@ -96,6 +116,12 @@ struct ScenarioResult {
   metrics::Summary topology;
   /// Componentwise sum over the recorded trace.
   StepCost total;
+  /// Batch aggregates over the recorded trace.
+  std::size_t total_inserts = 0;
+  std::size_t total_deletes = 0;
+  std::uint64_t total_walk_epochs = 0;
+  std::size_t type2_steps = 0;     ///< steps whose batch used a type-2 rebuild
+  std::size_t parallel_steps = 0;  ///< steps served by a parallel batch path
   std::size_t max_degree = 0;  ///< max over trace (0 unless measured)
   double min_gap = 1.0;        ///< min over sampled records (1.0 if none)
   std::size_t start_n = 0;     ///< population when run() began
@@ -153,10 +179,12 @@ class ScenarioRunner {
 
 /// Strategy factory keyed by the scenario names the CLI exposes:
 /// "churn", "insert-only", "delete-only", "oscillate", "targeted"
-/// (coordinator killer), "load-attack", "spectral", "greedy-spectral".
-/// Returns nullptr for unknown names.
+/// (coordinator killer), "load-attack", "spectral", "greedy-spectral",
+/// plus the batch-native workloads "burst" (mixed §5-safe bursts),
+/// "flash-crowd" (insert waves) and "mass-failure" (correlated clustered
+/// deletions). Returns nullptr for unknown names.
 struct StrategyOptions {
-  double insert_prob = 0.5;      ///< churn
+  double insert_prob = 0.5;      ///< churn, burst (insert fraction)
   std::size_t half_period = 32;  ///< oscillate
   std::size_t candidates = 24;   ///< greedy-spectral
 };
@@ -167,7 +195,8 @@ struct StrategyOptions {
 [[nodiscard]] const char* strategy_names();
 
 /// The full per-step trace as CSV (stable header, stable formatting):
-/// step,op,target,new_node,n,rounds,messages,topology_changes,max_degree,gap
+/// step,op,target,new_node,n,rounds,messages,topology_changes,
+/// batch_inserts,batch_deletes,walk_epochs,used_type2,max_degree,gap
 [[nodiscard]] std::string trace_csv(const ScenarioResult& result);
 
 /// Aggregates as a single JSON object.

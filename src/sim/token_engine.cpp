@@ -19,7 +19,8 @@ std::uint64_t edge_key(std::uint64_t from, std::uint64_t to) {
 }  // namespace
 
 EngineResult run_walks(std::vector<Token> tokens, const PortsFn& ports,
-                       support::Rng& rng, std::uint64_t round_limit) {
+                       support::Rng& rng, std::uint64_t round_limit,
+                       const AcceptFn& accept) {
   EngineResult res;
   std::size_t active = 0;
   for (auto& t : tokens) {
@@ -52,7 +53,8 @@ EngineResult run_walks(std::vector<Token> tokens, const PortsFn& ports,
       used_edges.insert(key);
       t.location = next;
       ++res.messages;
-      if (--t.steps_remaining == 0) {
+      --t.steps_remaining;
+      if (t.steps_remaining == 0 || (accept && accept(next))) {
         t.finished = true;
         --active;
       }

@@ -47,12 +47,28 @@ struct EngineResult {
 using PortsFn =
     std::function<void(std::uint64_t loc, std::vector<std::uint64_t>& out)>;
 
+/// Optional early-accept predicate: consulted at most once per successful
+/// token move (after steps_remaining is decremented); returning true
+/// settles the token at that location. A move that exhausts the step
+/// budget finishes the token WITHOUT consulting accept — a stateful
+/// predicate (e.g. counting tentative settlements per location to avoid
+/// stampedes) therefore undercounts budget-exhausted tokens, and callers
+/// must re-validate settled tokens against live state (as the §5 batch
+/// path does). This is the parallel counterpart of the single-event
+/// type-1 walk, which also stops at the *first* node satisfying its
+/// acceptance test — the batch path uses it so the sequential-vs-parallel
+/// rounds comparison holds walk semantics fixed.
+using AcceptFn = std::function<bool(std::uint64_t loc)>;
+
 /// Runs all tokens to completion (or until round_limit). Tokens that still
 /// have steps left at the limit are reported unfinished at their current
-/// location.
+/// location. With an accept predicate, tokens may also finish early at the
+/// first accepting location they step onto (the start location is never
+/// tested — a token must move at least once, like type1_walk).
 [[nodiscard]] EngineResult run_walks(std::vector<Token> tokens,
                                      const PortsFn& ports,
                                      support::Rng& rng,
-                                     std::uint64_t round_limit);
+                                     std::uint64_t round_limit,
+                                     const AcceptFn& accept = {});
 
 }  // namespace dex::sim

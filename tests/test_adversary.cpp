@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "adversary/adversary.h"
 #include "baselines/law_siu.h"
 #include "dex/network.h"
+#include "graph/bfs.h"
 #include "graph/spectral.h"
 
 namespace adv = dex::adversary;
@@ -217,4 +221,124 @@ TEST(Adversary, GreedySpectralDeletionDegradesLawSiuButNotDex) {
   EXPECT_LT(ls_gap1, 0.5 * ls_gap0);
   EXPECT_GT(dex_gap, 0.02);
   net.check_invariants();
+}
+
+// ------------------------------------------------- batch decision surface
+
+TEST(AdversaryBatch, DefaultWrapperProducesSelfConsistentBatches) {
+  dex::Params prm;
+  prm.seed = 101;
+  dex::DexNetwork net(32, prm);
+  auto view = view_of(net);
+  adv::RandomChurn strat(0.5);
+  dex::support::Rng rng(9);
+  const auto batch = strat.next_batch(view, rng, 8, 64, 12);
+  EXPECT_LE(batch.size(), 12u);
+  // Victims distinct, alive, disjoint from attach points.
+  for (std::size_t i = 0; i < batch.victims.size(); ++i) {
+    EXPECT_TRUE(net.alive(batch.victims[i]));
+    for (std::size_t j = i + 1; j < batch.victims.size(); ++j)
+      EXPECT_NE(batch.victims[i], batch.victims[j]);
+  }
+  for (auto a : batch.attach_to) {
+    EXPECT_TRUE(net.alive(a));
+    EXPECT_EQ(std::find(batch.victims.begin(), batch.victims.end(), a),
+              batch.victims.end());
+  }
+  // Population projection respects the bounds.
+  EXPECT_GE(net.n() - batch.victims.size(), 8u);
+  EXPECT_LE(net.n() + batch.attach_to.size(), 64u);
+}
+
+TEST(AdversaryBatch, DefaultWrapperHonorsBoundsUnderPressure) {
+  dex::Params prm;
+  prm.seed = 102;
+  dex::DexNetwork net(16, prm);
+  auto view = view_of(net);
+  dex::support::Rng rng(10);
+  // Insert-only at a tight cap: at most max_n - n inserts may come back.
+  adv::InsertOnly grow;
+  const auto b1 = grow.next_batch(view, rng, 4, 18, 10);
+  EXPECT_LE(b1.attach_to.size(), 2u);
+  EXPECT_TRUE(b1.victims.empty());
+  // Delete-only at a floor just below n: only n - floor deletions fit.
+  adv::DeleteOnly shrink;
+  const auto b2 = shrink.next_batch(view, rng, 14, 64, 10);
+  EXPECT_LE(b2.victims.size(), 2u);
+}
+
+TEST(AdversaryBatch, SampleSafeVictimsKeepsSurvivorsConnected) {
+  dex::Params prm;
+  prm.seed = 103;
+  dex::DexNetwork net(48, prm);
+  const auto g = net.snapshot();
+  const auto mask = net.alive_mask();
+  const auto victims =
+      adv::sample_safe_victims(g, mask, net.alive_nodes(), 8);
+  EXPECT_GE(victims.size(), 1u);
+  auto after = mask;
+  for (auto v : victims) after[v] = false;
+  EXPECT_TRUE(dex::graph::is_connected(g, after));
+  // Every victim keeps a surviving neighbor.
+  for (auto v : victims) {
+    bool has_survivor = false;
+    for (auto w : g.ports(v)) has_survivor = has_survivor || (w != v && after[w]);
+    EXPECT_TRUE(has_survivor) << v;
+  }
+}
+
+TEST(AdversaryBatch, FlashCrowdWavesInsertThenMakeRoom) {
+  dex::Params prm;
+  prm.seed = 104;
+  dex::DexNetwork net(16, prm);
+  auto view = view_of(net);
+  adv::FlashCrowd strat;
+  dex::support::Rng rng(11);
+  const auto wave = strat.next_batch(view, rng, 8, 64, 12);
+  EXPECT_EQ(wave.victims.size(), 0u);
+  EXPECT_GT(wave.attach_to.size(), 0u);
+  // Attach multiplicity stays under the §5 cap.
+  for (auto a : wave.attach_to) {
+    const auto copies = static_cast<std::size_t>(
+        std::count(wave.attach_to.begin(), wave.attach_to.end(), a));
+    EXPECT_LE(copies, dex::sim::kMaxAttachPerNode);
+  }
+  // At the cap the crowd departs instead.
+  const auto full = strat.next_batch(view, rng, 8, 16, 12);
+  EXPECT_TRUE(full.attach_to.empty());
+  EXPECT_GT(full.victims.size(), 0u);
+}
+
+TEST(AdversaryBatch, CorrelatedFailureRespectsPreconditionsAndFloor) {
+  dex::Params prm;
+  prm.seed = 105;
+  dex::DexNetwork net(48, prm);
+  auto view = view_of(net);
+  adv::CorrelatedFailure strat;
+  dex::support::Rng rng(12);
+  const auto batch = strat.next_batch(view, rng, 16, 128, 10);
+  EXPECT_TRUE(batch.attach_to.empty());
+  EXPECT_GE(net.n() - batch.victims.size(), 16u);
+  auto mask = net.alive_mask();
+  for (auto v : batch.victims) mask[v] = false;
+  EXPECT_TRUE(dex::graph::is_connected(net.snapshot(), mask));
+  // At the floor it recovers with insertions instead of deleting.
+  const auto floor_batch = strat.next_batch(view, rng, 48, 128, 10);
+  EXPECT_TRUE(floor_batch.victims.empty());
+  EXPECT_GT(floor_batch.attach_to.size(), 0u);
+}
+
+TEST(AdversaryBatch, ScriptedBatchesReplayVerbatimAndAbortWhenExhausted) {
+  dex::Params prm;
+  prm.seed = 106;
+  dex::DexNetwork net(8, prm);
+  auto view = view_of(net);
+  dex::support::Rng rng(13);
+  adv::Scripted strat({{true, 0}, {false, 3}, {true, 1}, {false, 4}});
+  EXPECT_EQ(strat.remaining(), 4u);
+  const auto batch = strat.next_batch(view, rng, 2, 100, 3);
+  EXPECT_EQ(batch.attach_to, (std::vector<adv::NodeId>{0, 1}));
+  EXPECT_EQ(batch.victims, (std::vector<adv::NodeId>{3}));
+  EXPECT_EQ(strat.remaining(), 1u);
+  EXPECT_DEATH(strat.next_batch(view, rng, 2, 100, 2), "exhausted");
 }
