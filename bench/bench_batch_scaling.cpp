@@ -1,28 +1,32 @@
 // Batch vs. sequential churn across backends and batch sizes (§5, Cor. 2).
 //
-// The batch-first redesign makes this runnable end-to-end: the same
+// Both comparisons are declarative ExperimentPlans run by the parallel
+// Executor. The DEX table expands one grid (n0 x batch) twice — once with
+// the default overlay factory (parallel-walk batches) and once with a
+// customized factory that disables them — and pairs the rows; the same
 // burst-churn workload (same strategy, same seed, same batch-size knob)
-// goes through HealingOverlay::apply on every backend, and on DEX once
-// through the parallel-walk path and once with parallelism disabled (the
-// sequential default). The two DEX runs start identical but their
-// realizations diverge after the first step — batch decisions read the
-// overlay's own evolving topology — so the comparison is statistical, not
-// op-for-op (the events/batch column confirms equal batch sizes; the
-// speedup dwarfs realization noise). The headline number is rounds per
-// batch: sequential application pays ~batch_size * O(log n) rounds (events
-// heal one after another), the parallel path pays O(log³ n) for the whole
-// batch — the paper's sequential-vs-parallel comparison at equal batch
-// sizes.
+// goes through HealingOverlay::apply either way. The two DEX runs start
+// identical but their realizations diverge after the first step — batch
+// decisions read the overlay's own evolving topology — so the comparison is
+// statistical, not op-for-op (the events/batch column confirms equal batch
+// sizes; the speedup dwarfs realization noise). The headline number is
+// rounds per batch: sequential application pays ~batch_size * O(log n)
+// rounds (events heal one after another), the parallel path pays O(log³ n)
+// for the whole batch — the paper's sequential-vs-parallel comparison at
+// equal batch sizes.
 
 #include <cstdio>
 #include <string>
 
 #include "bench_common.h"
 #include "metrics/table.h"
+#include "sim/experiment.h"
 
 using namespace dex;
 
 namespace {
+
+constexpr std::size_t kSteps = 16;
 
 struct RunStats {
   double rounds_per_batch = 0;
@@ -32,18 +36,9 @@ struct RunStats {
   std::size_t type2_steps = 0;
 };
 
-RunStats run(sim::HealingOverlay& overlay, std::size_t batch,
-             std::uint64_t seed, std::size_t steps) {
-  adversary::BurstChurn strat(0.5);
-  sim::ScenarioSpec spec;
-  spec.seed = seed;
-  spec.steps = steps;
-  spec.batch_size = batch;
-  spec.record_trace = false;
-  sim::ScenarioRunner runner(overlay, strat, spec);
-  const auto res = runner.run();
+RunStats stats_of(const sim::ScenarioResult& res) {
   RunStats s;
-  const double n_steps = static_cast<double>(spec.steps);
+  const double n_steps = static_cast<double>(res.rounds.count);
   s.rounds_per_batch = static_cast<double>(res.total.rounds) / n_steps;
   s.msgs_per_batch = static_cast<double>(res.total.messages) / n_steps;
   s.events_per_batch =
@@ -53,41 +48,71 @@ RunStats run(sim::HealingOverlay& overlay, std::size_t batch,
   return s;
 }
 
+sim::ExperimentPlan dex_plan() {
+  sim::ExperimentPlan plan;
+  plan.backends = {"dex-amortized"};
+  plan.scenarios = {"burst"};
+  plan.populations = {256, 1024};
+  plan.batch_sizes = {4, 16, 64};
+  plan.base.steps = kSteps;
+  return plan;
+}
+
+// The classic per-cell seeding: adversary stream keyed to the grid point.
+void seed_by_cell(sim::TrialSpec& t) {
+  t.spec.seed = 1000 + t.n0 + t.spec.batch_size;
+}
+
 }  // namespace
 
 int main() {
   std::printf("=== batch scaling: parallel batch recovery vs sequential "
               "application ===\n\n");
-  const std::size_t kSteps = 16;
+
+  sim::ExecutorOptions opts;
+  opts.jobs = 0;  // all cores; deterministic regardless
+  opts.stream_steps = false;
+  sim::Executor executor(opts);
+
+  // Variant A: the stock dex-amortized overlay (parallel-walk batches).
+  // The expanded trial list doubles as the table's row labels below.
+  auto plan = dex_plan();
+  plan.customize = seed_by_cell;
+  const auto trials = plan.expand();
+  const auto par = executor.run(trials);
+
+  // Variant B: identical grid, identical workload, but the overlay factory
+  // flips set_parallel_batches(false) — the sequential baseline on the same
+  // backend. Per-axis overrides like this are exactly what customize is for.
+  auto seq_plan = dex_plan();
+  seq_plan.customize = [](sim::TrialSpec& t) {
+    seed_by_cell(t);
+    t.make_overlay = [n0 = t.n0, seed = sim::overlay_seed(t.spec.seed)] {
+      dex::Params prm;
+      prm.seed = seed;
+      prm.mode = RecoveryMode::Amortized;
+      auto overlay = std::make_unique<sim::DexOverlay>(n0, prm);
+      overlay->set_parallel_batches(false);
+      return overlay;
+    };
+  };
+  const auto seq = executor.run(seq_plan.expand());
 
   metrics::Table dex_table({"n0", "batch", "seq rounds/batch",
                             "par rounds/batch", "speedup", "par steps",
                             "type2", "events/batch"});
-  for (std::size_t n0 : {256u, 1024u}) {
-    for (std::size_t batch : {4u, 16u, 64u}) {
-      const std::uint64_t seed = 1000 + n0 + batch;
-      Params prm;
-      prm.seed = seed;
-      prm.mode = RecoveryMode::Amortized;
-
-      sim::DexOverlay seq(n0, prm);
-      seq.set_parallel_batches(false);
-      const auto s = run(seq, batch, seed, kSteps);
-
-      Params prm2 = prm;
-      sim::DexOverlay par(n0, prm2);
-      const auto p = run(par, batch, seed, kSteps);
-
-      dex_table.add_row(
-          {std::to_string(n0), std::to_string(batch),
-           metrics::Table::num(s.rounds_per_batch, 1),
-           metrics::Table::num(p.rounds_per_batch, 1),
-           metrics::Table::num(s.rounds_per_batch /
-                                   std::max(p.rounds_per_batch, 1.0),
-                               2),
-           std::to_string(p.parallel_steps), std::to_string(p.type2_steps),
-           metrics::Table::num(p.events_per_batch, 1)});
-    }
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const auto s = stats_of(seq[i]);
+    const auto p = stats_of(par[i]);
+    dex_table.add_row(
+        {std::to_string(trials[i].n0),
+         std::to_string(trials[i].spec.batch_size),
+         metrics::Table::num(s.rounds_per_batch, 1),
+         metrics::Table::num(p.rounds_per_batch, 1),
+         metrics::Table::num(
+             s.rounds_per_batch / std::max(p.rounds_per_batch, 1.0), 2),
+         std::to_string(p.parallel_steps), std::to_string(p.type2_steps),
+         metrics::Table::num(p.events_per_batch, 1)});
   }
   std::printf("--- dex-amortized: sequential default vs parallel-walk "
               "batches (same seeded workload; realizations diverge as each "
@@ -100,20 +125,36 @@ int main() {
       "speedup widens with the batch — parallel must beat sequential at\n"
       "every equal batch size.\n\n");
 
+  // Every backend under the same burst workload — one grid, one executor
+  // pass, the AggregateSink streaming the per-trial summaries.
+  sim::ExperimentPlan all;
+  all.backends = sim::known_overlays();
+  all.scenarios = {"burst"};
+  all.populations = {256};
+  all.batch_sizes = {4, 16};
+  all.base.steps = kSteps;
+  all.customize = [](sim::TrialSpec& t) {
+    t.spec.seed = 7 + t.spec.batch_size;
+  };
+
+  sim::AggregateSink agg;
+  sim::ExecutorOptions sink_opts;
+  sink_opts.jobs = 0;
+  sink_opts.stream_steps = false;
+  sink_opts.collect_results = false;
+  sim::Executor sink_executor(sink_opts);
+  sink_executor.add_sink(agg);
+  sink_executor.run(all.expand());
+
   metrics::Table bk({"backend", "n0", "batch", "rounds/batch", "msgs/batch",
                      "events/batch"});
-  for (const char* backend : {"dex-amortized", "dex-worstcase", "flood",
-                              "lawsiu", "randomflip", "xheal"}) {
-    for (std::size_t batch : {4u, 16u}) {
-      const std::size_t n0 = 256;
-      const std::uint64_t seed = 7 + batch;
-      auto overlay = sim::make_overlay(backend, n0, seed);
-      const auto r = run(*overlay, batch, seed, kSteps);
-      bk.add_row({backend, std::to_string(n0), std::to_string(batch),
-                  metrics::Table::num(r.rounds_per_batch, 1),
-                  metrics::Table::num(r.msgs_per_batch, 1),
-                  metrics::Table::num(r.events_per_batch, 1)});
-    }
+  for (const auto& row : agg.rows()) {
+    const auto r = stats_of(row.result);
+    bk.add_row({row.info.backend, std::to_string(row.info.n0),
+                std::to_string(row.info.batch_size),
+                metrics::Table::num(r.rounds_per_batch, 1),
+                metrics::Table::num(r.msgs_per_batch, 1),
+                metrics::Table::num(r.events_per_batch, 1)});
   }
   std::printf("--- every backend under the same burst workload (batch-first "
               "apply; only DEX-amortized parallelizes) ---\n");

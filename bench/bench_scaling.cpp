@@ -1,9 +1,10 @@
 // E3 — Theorem 1: per-step recovery costs in worst-case mode grow like
 // O(log n) rounds and messages with O(1) topology changes, per step, w.h.p.
-// Sweep n over powers of two, run adaptive churn through the ScenarioRunner,
-// report p50/p99/max per step and a least-squares fit of the mean cost
-// against log2 n — the fit's r² against log n tells us the growth law, and
-// max topology changes must stay flat.
+// One ExperimentPlan sweeps n over powers of two (adaptive churn, 3000
+// steps each) and the Executor runs the sizes concurrently; report p50/p99/
+// max per step and a least-squares fit of the mean cost against log2 n —
+// the fit's r² against log n tells us the growth law, and max topology
+// changes must stay flat.
 
 #include <cmath>
 #include <cstdio>
@@ -11,6 +12,7 @@
 #include "bench_common.h"
 #include "metrics/stats.h"
 #include "metrics/table.h"
+#include "sim/experiment.h"
 
 using namespace dex;
 
@@ -19,31 +21,25 @@ int main() {
       "=== E3 / Theorem 1: per-step cost vs network size (worst-case mode) "
       "===\n\n");
 
+  sim::ExperimentPlan plan;
+  plan.backends = {"dex-worstcase"};
+  plan.populations = {256, 512, 1024, 2048, 4096, 8192};
+  plan.base.steps = 3000;
+  plan.customize = [](sim::TrialSpec& t) { t.spec.seed = 7 * t.n0; };
+
+  sim::ExecutorOptions opts;
+  opts.jobs = 0;  // all cores; deterministic regardless
+  opts.stream_steps = false;
+  sim::Executor executor(opts);
+  const auto results = executor.run(plan.expand());
+
   metrics::Table t({"n", "rounds p50", "rounds p99", "rounds max",
                     "msgs p50", "msgs p99", "msgs max", "topo p99",
-                    "topo max", "type2 events"});
-
+                    "topo max", "type2 steps"});
   std::vector<double> log_n, mean_rounds, mean_msgs;
-  for (std::size_t n0 : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
-    Params prm;
-    prm.seed = 42 + n0;
-    prm.mode = RecoveryMode::WorstCase;
-    sim::DexOverlay overlay(n0, prm);
-    adversary::RandomChurn strat(0.5);
-
-    sim::ScenarioSpec spec;
-    spec.seed = 7 * n0;
-    spec.steps = 3000;
-    spec.min_n = n0 / 2;
-    spec.max_n = n0 * 2;
-    sim::ScenarioRunner runner(overlay, strat, spec);
-
-    std::uint64_t type2 = 0;
-    runner.set_observer([&](const sim::StepRecord&, sim::HealingOverlay&) {
-      if (overlay.net().last_report().type2_event) ++type2;
-    });
-    const auto res = runner.run();
-
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::size_t n0 = plan.populations[i];
+    const auto& res = results[i];
     const auto& r = res.rounds;
     const auto& m = res.messages;
     const auto& c = res.topology;
@@ -51,7 +47,8 @@ int main() {
                metrics::Table::num(r.p99, 0), metrics::Table::num(r.max, 0),
                metrics::Table::num(m.p50, 0), metrics::Table::num(m.p99, 0),
                metrics::Table::num(m.max, 0), metrics::Table::num(c.p99, 0),
-               metrics::Table::num(c.max, 0), std::to_string(type2)});
+               metrics::Table::num(c.max, 0),
+               std::to_string(res.type2_steps)});
     log_n.push_back(std::log2(static_cast<double>(n0)));
     mean_rounds.push_back(r.mean);
     mean_msgs.push_back(m.mean);

@@ -1,11 +1,13 @@
 // E1 — Table 1 of the paper: comparison of distributed expander
-// constructions. The DEX and Law–Siu rows are *measured* on this machine
-// (identical adaptive churn, several network sizes); the flooding baseline
-// row quantifies §3's strawman; the skip-graph and SKIP+ rows reproduce the
-// paper's analytic citations (no OSS artifacts exist to measure — marked).
+// constructions. The DEX, Law–Siu and flooding rows are *measured* on this
+// machine (identical adaptive churn, several network sizes); the skip-graph
+// and SKIP+ rows reproduce the paper's analytic citations (no OSS artifacts
+// exist to measure — marked).
 //
-// Every measured row runs through the same HealingOverlay + ScenarioRunner
-// pipeline — zero backend-specific driver code.
+// Every measured row is one trial of a single declarative ExperimentPlan
+// (backends x populations), run concurrently by the Executor — zero
+// backend-specific driver code, and the sweep uses every core while staying
+// byte-deterministic.
 //
 // Paper's Table 1 row for DEX:   deterministic expansion, adaptive
 // adversary, O(1) max degree, O(log n) recovery, O(log n) messages,
@@ -19,50 +21,24 @@
 
 #include "bench_common.h"
 #include "metrics/table.h"
+#include "sim/experiment.h"
 
 using namespace dex;
 
 namespace {
 
-struct Measured {
-  double max_degree = 0;
-  double rounds_p99 = 0;
-  double msgs_p99 = 0;
-  double topo_p99 = 0;
-  double gap_min = 1.0;
-};
-
-Measured churn_run(sim::HealingOverlay& overlay, std::size_t steps,
-                   std::uint64_t seed) {
-  adversary::RandomChurn strat(0.5);
-  sim::ScenarioSpec spec;
-  spec.seed = seed;
-  spec.steps = steps;
-  spec.min_n = overlay.n() / 2;
-  spec.max_n = overlay.n() * 2;
-  spec.gap_every = std::max<std::size_t>(steps / 8, 1);
-  spec.measure_degree = true;
-  sim::ScenarioRunner runner(overlay, strat, spec);
-  const auto res = runner.run();
-
-  Measured m;
-  m.max_degree = static_cast<double>(res.max_degree);
-  m.rounds_p99 = res.rounds.p99;
-  m.msgs_p99 = res.messages.p99;
-  m.topo_p99 = res.topology.p99;
-  m.gap_min = res.min_gap;
-  return m;
+const char* display_name(const std::string& backend) {
+  if (backend == "dex-worstcase") return "DEX (this work)";
+  if (backend == "lawsiu") return "Law-Siu [18]";
+  return "Flooding (Sec. 3)";
 }
 
-void add_measured_row(metrics::Table& t, const char* algorithm, std::size_t n,
-                      const char* expansion, const char* adversary,
-                      const Measured& m) {
-  t.add_row({algorithm, std::to_string(n), expansion, adversary,
-             metrics::Table::num(m.max_degree, 0),
-             metrics::Table::num(m.rounds_p99, 0),
-             metrics::Table::num(m.msgs_p99, 0),
-             metrics::Table::num(m.topo_p99, 0),
-             metrics::Table::num(m.gap_min, 3)});
+const char* expansion_kind(const std::string& backend) {
+  return backend == "lawsiu" ? "prob (oblivious)" : "deterministic";
+}
+
+const char* adversary_kind(const std::string& backend) {
+  return backend == "lawsiu" ? "oblivious" : "adaptive";
 }
 
 }  // namespace
@@ -72,31 +48,45 @@ int main() {
       "=== E1 / Table 1: comparison of distributed expander constructions "
       "===\n\nMeasured rows (adaptive 50/50 churn, per-step p99 costs):\n\n");
 
+  sim::ExperimentPlan plan;
+  plan.backends = {"dex-worstcase", "lawsiu", "flood"};
+  plan.populations = {256, 1024, 4096};
+  plan.base.measure_degree = true;
+  plan.customize = [](sim::TrialSpec& t) {
+    // Cost model sized to the construction: flooding pays Θ(n) per step, so
+    // its row keeps the same workload shape at a capped step count.
+    const std::size_t steps = 4 * t.n0;
+    t.spec.steps =
+        t.backend == "flood" ? std::min<std::size_t>(steps, 512) : steps;
+    t.spec.gap_every = std::max<std::size_t>(t.spec.steps / 8, 1);
+    // Distinct adversary stream per grid point (the classic E1 seeding).
+    t.spec.seed = t.n0 + (t.backend == "lawsiu" ? 1 : 0) +
+                  (t.backend == "flood" ? 2 : 0);
+  };
+
+  sim::ExecutorOptions opts;
+  opts.jobs = 0;  // all cores; results are byte-deterministic regardless
+  opts.stream_steps = false;
+  sim::Executor executor(opts);
+  const auto results = executor.run(plan.expand());
+
   metrics::Table t({"algorithm", "n", "expansion", "adversary", "max degree",
                     "recovery rounds p99", "messages p99", "topo changes p99",
                     "min gap"});
-
-  for (std::size_t n0 : {256u, 1024u, 4096u}) {
-    const std::size_t steps = 4 * n0;
-    {
-      Params prm;
-      prm.seed = 1000 + n0;
-      prm.mode = RecoveryMode::WorstCase;
-      sim::DexOverlay overlay(n0, prm);
-      add_measured_row(t, "DEX (this work)", n0, "deterministic", "adaptive",
-                       churn_run(overlay, steps, n0));
-    }
-    {
-      sim::LawSiuOverlay overlay(n0, 3, 2000 + n0);
-      add_measured_row(t, "Law-Siu [18]", n0, "prob (oblivious)", "oblivious",
-                       churn_run(overlay, steps, n0 + 1));
-    }
-    {
-      sim::FloodRebuildOverlay overlay(n0);
-      add_measured_row(t, "Flooding (Sec. 3)", n0, "deterministic",
-                       "adaptive",
-                       churn_run(overlay, std::min<std::size_t>(steps, 512),
-                                 n0 + 2));
+  // Trials expand backend-major; present the classic grouping (all
+  // algorithms per n) by walking populations in the outer loop.
+  for (std::size_t pi = 0; pi < plan.populations.size(); ++pi) {
+    for (std::size_t bi = 0; bi < plan.backends.size(); ++bi) {
+      const auto& res = results[bi * plan.populations.size() + pi];
+      const std::size_t n0 = plan.populations[pi];
+      t.add_row({display_name(plan.backends[bi]), std::to_string(n0),
+                 expansion_kind(plan.backends[bi]),
+                 adversary_kind(plan.backends[bi]),
+                 metrics::Table::num(static_cast<double>(res.max_degree), 0),
+                 metrics::Table::num(res.rounds.p99, 0),
+                 metrics::Table::num(res.messages.p99, 0),
+                 metrics::Table::num(res.topology.p99, 0),
+                 metrics::Table::num(res.min_gap, 3)});
     }
   }
   t.print();

@@ -1,24 +1,37 @@
 // Simulator CLI. Two modes:
 //
-// (1) Scenario mode — any backend x any adversary x any size from one
-//     binary, driven by the ScenarioRunner; the per-step trace goes to
-//     stdout as CSV and the aggregate summary to stderr as JSON:
+// (1) Scenario/sweep mode — any backends x any adversaries x any sizes from
+//     one binary, driven by the declarative ExperimentPlan + parallel
+//     Executor (sim/experiment.h); per-step traces stream as CSV (stdout or
+//     --csv FILE) and per-trial summaries as JSON lines (stderr or --json
+//     FILE) through MetricSinks, so memory stays flat however long the run:
 //
 //   $ ./dex_sim_cli --backend=flood --scenario=churn --n0=64 --steps=200
 //   $ ./dex_sim_cli --backend dex-worstcase --scenario churn --batch-size 16
+//   $ ./dex_sim_cli --sweep --backend all --scenario churn,burst
+//        --seed 1,2,3,4 --jobs 8 --no-trace --json BENCH_sweep.json
 //
 //     Flags (both --flag=VALUE and --flag VALUE forms work):
-//            --backend=NAME   (dex-amortized, dex-worstcase, flood, lawsiu,
-//                              randomflip, xheal)
-//            --scenario=NAME  (churn, insert-only, delete-only, oscillate,
+//            --backend=NAMES  (dex-amortized, dex-worstcase, flood, lawsiu,
+//                              randomflip, xheal; with --sweep a comma list
+//                              or "all")
+//            --scenario=NAMES (churn, insert-only, delete-only, oscillate,
 //                              targeted, load-attack, spectral,
 //                              greedy-spectral, burst, flash-crowd,
-//                              mass-failure)
-//            --n0=N --steps=N --seed=S --min-n=N --max-n=N --warmup=N
+//                              mass-failure; comma list with --sweep)
+//            --n0=N --seed=S  (comma lists with --sweep: grid axes)
+//            --batch-size=B   events per step (§5 batches; default 1;
+//                              comma list with --sweep)
+//            --steps=N --min-n=N --max-n=N --warmup=N
 //            --insert-prob=P --gap-every=K --no-trace
-//            --batch-size=B   events per step (§5 batches; default 1)
 //            --burst=K        burst batch_size every K steps, single events
 //                             between (default 0 = batch every step)
+//            --sweep          expand the comma-list axes into a full grid
+//                             (backends x scenarios x n0s x batch sizes x
+//                             seeds) and prepend a trial column/field
+//            --jobs=J         worker threads for the sweep (0 = all cores);
+//                             output is byte-identical for every J
+//            --csv=FILE --json=FILE   redirect the two streams to files
 //
 // (2) Scripted mode (legacy) — drive a DexNetwork from a churn script
 //     (stdin or file), for reproducing traces, debugging adversarial
@@ -48,12 +61,16 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "dex/dht.h"
 #include "dex/network.h"
 #include "graph/bfs.h"
 #include "graph/spectral.h"
+#include "sim/experiment.h"
 #include "sim/overlay.h"
 #include "sim/scenario.h"
+#include "sim/sinks.h"
 #include "support/prng.h"
 
 namespace {
@@ -61,10 +78,15 @@ namespace {
 // ------------------------------------------------------------ scenario mode
 
 struct ScenarioArgs {
-  std::string backend = "dex-worstcase";
-  std::string scenario = "churn";
-  std::size_t n0 = 64;
-  std::uint64_t seed = 1;
+  bool sweep = false;
+  std::vector<std::string> backends{"dex-worstcase"};
+  std::vector<std::string> scenarios{"churn"};
+  std::vector<std::size_t> n0s{64};
+  std::vector<std::uint64_t> seeds{1};
+  std::vector<std::size_t> batch_sizes{1};
+  std::size_t jobs = 1;
+  std::string csv_path;
+  std::string json_path;
   dex::sim::ScenarioSpec spec;
   dex::sim::StrategyOptions opts;
   bool trace = true;
@@ -116,13 +138,29 @@ double parse_double(const std::string& v) try {
   throw std::invalid_argument("expected a number, got '" + v + "'");
 }
 
+/// Splits a comma list; "all" (backends axis) expands via the registry.
+std::vector<std::string> split_csv(const std::string& v) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= v.size()) {
+    const std::size_t comma = v.find(',', start);
+    const std::size_t end = comma == std::string::npos ? v.size() : comma;
+    if (end > start) out.push_back(v.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("empty list: '" + v + "'");
+  return out;
+}
+
 void print_usage(std::FILE* out) {
   std::fprintf(
       out,
-      "usage: dex_sim_cli [--backend=NAME] [--scenario=NAME] [--n0=N]\n"
-      "                   [--steps=N] [--seed=S] [--min-n=N] [--max-n=N]\n"
+      "usage: dex_sim_cli [--backend=NAMES] [--scenario=NAMES] [--n0=N,..]\n"
+      "                   [--steps=N] [--seed=S,..] [--min-n=N] [--max-n=N]\n"
       "                   [--warmup=N] [--insert-prob=P] [--gap-every=K]\n"
-      "                   [--batch-size=B] [--burst=K] [--no-trace]\n"
+      "                   [--batch-size=B,..] [--burst=K] [--no-trace]\n"
+      "                   [--sweep] [--jobs=J] [--csv=FILE] [--json=FILE]\n"
       "       dex_sim_cli [script-file]        (legacy scripted mode)\n"
       "\n"
       "Flags take --flag=VALUE or --flag VALUE.\n"
@@ -131,9 +169,15 @@ void print_usage(std::FILE* out) {
       "\n"
       "--batch-size drives B churn events per step through the batch-first\n"
       "apply() surface (DEX heals feasible batches with parallel walks,\n"
-      "Cor. 2); --burst=K bursts only every K-th step. Scenario mode prints\n"
-      "the per-step CSV trace on stdout and a JSON summary on stderr. Same\n"
-      "--seed => same adversary decision sequence across backends.\n",
+      "Cor. 2); --burst=K bursts only every K-th step. The per-step CSV\n"
+      "trace streams to stdout (or --csv FILE) and one JSON summary per\n"
+      "trial to stderr (or --json FILE). Same --seed => same adversary\n"
+      "decision sequence across backends.\n"
+      "\n"
+      "--sweep expands comma-listed --backend/--scenario/--n0/--batch-size/\n"
+      "--seed axes into a grid (--backend all = every backend) and runs the\n"
+      "trials on --jobs threads; rows gain a leading trial column and the\n"
+      "output is byte-identical for every --jobs value.\n",
       dex::sim::overlay_names(), dex::sim::strategy_names());
 }
 
@@ -145,13 +189,23 @@ int run_scenario(int argc, char** argv) {
       const std::string arg = argv[i];
       std::string v;
       if (parse_flag(argc, argv, i, "backend", v)) {
-        a.backend = v;
+        a.backends = split_csv(v);
       } else if (parse_flag(argc, argv, i, "scenario", v)) {
-        a.scenario = v;
+        a.scenarios = split_csv(v);
       } else if (parse_flag(argc, argv, i, "n0", v)) {
-        a.n0 = parse_u64(v);
+        a.n0s.clear();
+        for (const auto& s : split_csv(v)) a.n0s.push_back(parse_u64(s));
       } else if (parse_flag(argc, argv, i, "seed", v)) {
-        a.seed = parse_u64(v);
+        a.seeds.clear();
+        for (const auto& s : split_csv(v)) a.seeds.push_back(parse_u64(s));
+      } else if (parse_flag(argc, argv, i, "batch-size", v)) {
+        a.batch_sizes.clear();
+        for (const auto& s : split_csv(v)) {
+          a.batch_sizes.push_back(parse_u64(s));
+          if (a.batch_sizes.back() == 0) {
+            throw std::invalid_argument("--batch-size must be >= 1");
+          }
+        }
       } else if (parse_flag(argc, argv, i, "steps", v)) {
         a.spec.steps = parse_u64(v);
       } else if (parse_flag(argc, argv, i, "min-n", v)) {
@@ -168,13 +222,16 @@ int run_scenario(int argc, char** argv) {
         }
       } else if (parse_flag(argc, argv, i, "gap-every", v)) {
         a.spec.gap_every = parse_u64(v);
-      } else if (parse_flag(argc, argv, i, "batch-size", v)) {
-        a.spec.batch_size = parse_u64(v);
-        if (a.spec.batch_size == 0) {
-          throw std::invalid_argument("--batch-size must be >= 1");
-        }
       } else if (parse_flag(argc, argv, i, "burst", v)) {
         a.spec.burst_every = parse_u64(v);
+      } else if (parse_flag(argc, argv, i, "jobs", v)) {
+        a.jobs = parse_u64(v);
+      } else if (parse_flag(argc, argv, i, "csv", v)) {
+        a.csv_path = v;
+      } else if (parse_flag(argc, argv, i, "json", v)) {
+        a.json_path = v;
+      } else if (arg == "--sweep") {
+        a.sweep = true;
       } else if (arg == "--no-trace") {
         a.trace = false;
       } else if (arg == "--help" || arg == "-h") {
@@ -190,26 +247,37 @@ int run_scenario(int argc, char** argv) {
     std::fprintf(stderr, "bad flag value: %s\n", e.what());
     return 2;
   }
-  // The adversary's random stream must be independent of the backend's
-  // internal coins (the §2 model hides only the algorithm's future flips),
-  // so the overlay gets a salted derivation of the user seed while the
-  // runner — whose spec.seed lands in the emitted summary and must
-  // reproduce the run — keeps the seed the user typed.
-  a.spec.seed = a.seed;
-  // Fold the strategy knob into the label so the archived summary records
-  // the full workload, not just its name.
-  a.spec.label = a.scenario;
-  if (a.scenario == "churn" || a.scenario == "burst") {
-    char buf[48];
-    std::snprintf(buf, sizeof(buf), "(insert_prob=%g)", a.opts.insert_prob);
-    a.spec.label += buf;
+
+  // "all" expands from the registry; only meaningful as a sweep axis.
+  if (a.backends.size() == 1 && a.backends[0] == "all") {
+    a.backends = dex::sim::known_overlays();
   }
-  // One flag controls churn bias everywhere it applies.
-  a.spec.warmup_insert_prob = a.opts.insert_prob;
-  // The per-step degree scan only pays off when the trace is emitted.
-  a.spec.measure_degree = a.trace;
-  a.spec.record_trace = a.trace;
-  if (a.spec.burst_every > 0 && a.spec.batch_size <= 1) {
+  if (!a.sweep && (a.backends.size() > 1 || a.scenarios.size() > 1 ||
+                   a.n0s.size() > 1 || a.seeds.size() > 1 ||
+                   a.batch_sizes.size() > 1)) {
+    std::fprintf(stderr,
+                 "comma-listed axes expand to a grid only with --sweep\n");
+    return 2;
+  }
+  const auto& overlays = dex::sim::known_overlays();
+  for (const auto& b : a.backends) {
+    if (std::find(overlays.begin(), overlays.end(), b) == overlays.end()) {
+      std::fprintf(stderr, "unknown backend '%s' (valid: %s)\n", b.c_str(),
+                   dex::sim::overlay_names());
+      return 2;
+    }
+  }
+  const auto& strategies = dex::sim::known_strategies();
+  for (const auto& s : a.scenarios) {
+    if (std::find(strategies.begin(), strategies.end(), s) ==
+        strategies.end()) {
+      std::fprintf(stderr, "unknown scenario '%s' (valid: %s)\n", s.c_str(),
+                   dex::sim::strategy_names());
+      return 2;
+    }
+  }
+  if (a.spec.burst_every > 0 &&
+      *std::max_element(a.batch_sizes.begin(), a.batch_sizes.end()) <= 1) {
     std::fprintf(stderr,
                  "--burst only paces batches; give it something to pace "
                  "with --batch-size > 1\n");
@@ -217,33 +285,80 @@ int run_scenario(int argc, char** argv) {
   }
   // Validate against the bounds the runner will actually use (a flag left
   // at 0 means "derive from n0" — see sim::resolve_bounds).
-  const auto bounds = dex::sim::resolve_bounds(a.spec, a.n0);
-  if (!bounds.valid()) {
-    std::fprintf(stderr,
-                 "population bounds must satisfy 3 <= min < max (got "
-                 "min=%zu max=%zu; defaults derive from --n0)\n",
-                 bounds.min_n, bounds.max_n);
-    return 2;
+  for (std::size_t n0 : a.n0s) {
+    const auto bounds = dex::sim::resolve_bounds(a.spec, n0);
+    if (!bounds.valid()) {
+      std::fprintf(stderr,
+                   "population bounds must satisfy 3 <= min < max (got "
+                   "min=%zu max=%zu for n0=%zu; defaults derive from --n0)\n",
+                   bounds.min_n, bounds.max_n, n0);
+      return 2;
+    }
   }
 
-  auto overlay = dex::sim::make_overlay(a.backend, a.n0,
-                                        a.seed ^ 0x9e3779b97f4a7c15ULL);
-  if (!overlay) {
-    std::fprintf(stderr, "unknown backend '%s' (valid: %s)\n",
-                 a.backend.c_str(), dex::sim::overlay_names());
-    return 2;
+  // One declarative plan covers both modes: the classic single run is a
+  // one-trial grid. Every trial owns its overlay/strategy/RNG (spec.seed
+  // drives the adversary; the overlay gets a salted derivation — §2 hides
+  // only the algorithm's future flips), so the Executor can run them on any
+  // number of threads with byte-identical output.
+  dex::sim::ExperimentPlan plan;
+  plan.backends = a.backends;
+  plan.scenarios = a.scenarios;
+  plan.populations = a.n0s;
+  plan.batch_sizes = a.batch_sizes;
+  plan.seeds = a.seeds;
+  plan.base = a.spec;
+  // One flag controls churn bias everywhere it applies.
+  plan.base.warmup_insert_prob = a.opts.insert_prob;
+  // The per-step degree scan only pays off when the trace is emitted.
+  plan.base.measure_degree = a.trace;
+  plan.opts = a.opts;
+  // Fold the strategy knob into the label so the archived summary records
+  // the full workload, not just its name.
+  plan.customize = [&a](dex::sim::TrialSpec& t) {
+    if (t.scenario == "churn" || t.scenario == "burst") {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "(insert_prob=%g)", a.opts.insert_prob);
+      t.spec.label += buf;
+    }
+  };
+
+  std::ofstream csv_file, json_file;
+  std::ostream* csv_os = &std::cout;
+  if (!a.csv_path.empty()) {
+    csv_file.open(a.csv_path);
+    if (!csv_file) {
+      std::fprintf(stderr, "cannot open %s\n", a.csv_path.c_str());
+      return 1;
+    }
+    csv_os = &csv_file;
   }
-  auto strategy = dex::sim::make_strategy(a.scenario, a.opts);
-  if (!strategy) {
-    std::fprintf(stderr, "unknown scenario '%s' (valid: %s)\n",
-                 a.scenario.c_str(), dex::sim::strategy_names());
-    return 2;
+  std::ostream* json_os = &std::cerr;
+  if (!a.json_path.empty()) {
+    json_file.open(a.json_path);
+    if (!json_file) {
+      std::fprintf(stderr, "cannot open %s\n", a.json_path.c_str());
+      return 1;
+    }
+    json_os = &json_file;
   }
 
-  dex::sim::ScenarioRunner runner(*overlay, *strategy, a.spec);
-  const auto result = runner.run();
-  if (a.trace) std::fputs(dex::sim::trace_csv(result).c_str(), stdout);
-  std::fprintf(stderr, "%s\n", dex::sim::summary_json(result).c_str());
+  // Streaming emission: rows/summaries leave through the sinks as trials
+  // deliver — no trace, and with --no-trace no per-step buffering at all.
+  // Without --sweep the sinks drop the trial column/field, so single-run
+  // output keeps the classic single-trial shape. (Column *values* are not
+  // frozen across versions: e.g. used_type2/type2_steps now populate on
+  // single-event DEX steps, where the pre-sweep CLI always emitted 0.)
+  dex::sim::CsvTraceSink csv_sink(*csv_os, /*trial_column=*/a.sweep);
+  dex::sim::JsonSummarySink json_sink(*json_os, /*trial_field=*/a.sweep);
+  dex::sim::ExecutorOptions opts;
+  opts.jobs = a.sweep ? a.jobs : 1;
+  opts.stream_steps = a.trace;
+  opts.collect_results = false;
+  dex::sim::Executor executor(opts);
+  if (a.trace) executor.add_sink(csv_sink);
+  executor.add_sink(json_sink);
+  executor.run(plan.expand());
   return 0;
 }
 

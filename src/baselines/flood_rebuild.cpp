@@ -42,6 +42,8 @@ void FloodRebuildNetwork::rebuild() {
     changed = (3 * (p_ + old_p)) / 2;
   }
   owner_ = std::move(fresh);
+  load_.assign(alive_.size(), 0);
+  for (Vertex z = 0; z < p_; ++z) ++load_[owner_[z]];
   // Flood of the membership change: 2 messages per edge, 2·diam rounds
   // (diam of an expander contraction: O(log n)).
   meter_.add_messages(3 * p_);
@@ -68,10 +70,13 @@ void FloodRebuildNetwork::remove(NodeId victim) {
   last_ = meter_.end_step();
 }
 
+std::size_t FloodRebuildNetwork::degree(NodeId u) const {
+  DEX_ASSERT(alive(u));
+  return 3 * load_[u];
+}
+
 std::size_t FloodRebuildNetwork::max_degree() const {
-  std::vector<std::size_t> load(alive_.size(), 0);
-  for (Vertex z = 0; z < p_; ++z) ++load[owner_[z]];
-  return 3 * *std::max_element(load.begin(), load.end());
+  return 3 * *std::max_element(load_.begin(), load_.end());
 }
 
 graph::Multigraph FloodRebuildNetwork::snapshot() const {

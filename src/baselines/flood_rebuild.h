@@ -32,6 +32,12 @@ class FloodRebuildNetwork {
   }
   [[nodiscard]] std::vector<NodeId> alive_nodes() const;
   [[nodiscard]] std::vector<bool> alive_mask() const { return alive_; }
+  /// Real degree of one node: 3 edges per virtual vertex it owns. The
+  /// round-robin rebuild keeps the mapping balanced, so loads differ by at
+  /// most one vertex — but they do differ (p is never a multiple of n), and
+  /// per-node consumers (load attacks, degree histograms) need the real
+  /// value, not the collapsed maximum.
+  [[nodiscard]] std::size_t degree(NodeId u) const;
   [[nodiscard]] std::size_t max_degree() const;
 
   [[nodiscard]] graph::Multigraph snapshot() const;
@@ -49,6 +55,9 @@ class FloodRebuildNetwork {
   std::uint64_t p_ = 0;
   /// Round-robin owner of each virtual vertex, recomputed every step.
   std::vector<NodeId> owner_;
+  /// Virtual vertices per node, maintained by rebuild() so the per-node
+  /// degree queries are O(1) instead of an O(p) owner scan.
+  std::vector<std::size_t> load_;
 };
 
 }  // namespace dex::baselines

@@ -57,15 +57,17 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-void write_csv_line(std::ostream& os, const std::vector<std::string>& cells) {
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i) os << ',';
-    os << csv_escape(cells[i]);
-  }
-  os << '\n';
-}
-
 }  // namespace
+
+std::string csv_line(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out += ',';
+    out += csv_escape(cells[i]);
+  }
+  out += '\n';
+  return out;
+}
 
 std::string format_double(double v) {
   if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
@@ -84,8 +86,8 @@ void CsvWriter::add_row(std::vector<std::string> cells) {
 }
 
 void CsvWriter::write(std::ostream& os) const {
-  write_csv_line(os, header_);
-  for (const auto& row : rows_) write_csv_line(os, row);
+  os << csv_line(header_);
+  for (const auto& row : rows_) os << csv_line(row);
 }
 
 std::string CsvWriter::to_string() const {

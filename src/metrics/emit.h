@@ -18,6 +18,11 @@ namespace dex::metrics {
 /// zeros ("1.5", not "1.500000"); integral values print without a point.
 [[nodiscard]] std::string format_double(double v);
 
+/// One rendered CSV line: cells joined with the same quoting CsvWriter
+/// applies, plus the trailing newline. The streaming sinks (sim/sinks.h)
+/// write rows through this as they happen instead of accumulating them.
+[[nodiscard]] std::string csv_line(const std::vector<std::string>& cells);
+
 class CsvWriter {
  public:
   explicit CsvWriter(std::vector<std::string> header)

@@ -6,19 +6,34 @@
 namespace dex::sim {
 
 BatchOutcome DexOverlay::apply(const ChurnBatch& batch) {
-  if (!parallel_batches_ || batch.size() <= 1) {
-    return apply_sequential(batch);
+  if (parallel_batches_ && batch.size() > 1) {
+    dex::BatchRequest req{batch.attach_to, batch.victims};
+    if (dex::batch_feasible(net_, req)) {
+      const dex::BatchResult res =
+          dex::apply_batch(net_, req, /*prevalidated=*/true);
+      BatchOutcome out;
+      out.inserted = res.inserted;
+      out.cost = res.cost;
+      out.walk_epochs = res.walk_epochs;
+      out.used_type2 = res.used_type2;
+      out.parallel = true;
+      return out;
+    }
   }
-  dex::BatchRequest req{batch.attach_to, batch.victims};
-  if (!dex::batch_feasible(net_, req)) return apply_sequential(batch);
-  const dex::BatchResult res =
-      dex::apply_batch(net_, req, /*prevalidated=*/true);
+  // Sequential path: same event order as apply_sequential, but with the
+  // type-2 rebuilds each event fires attributed to the outcome (the generic
+  // default has no window into DexNetwork's step reports).
   BatchOutcome out;
-  out.inserted = res.inserted;
-  out.cost = res.cost;
-  out.walk_epochs = res.walk_epochs;
-  out.used_type2 = res.used_type2;
-  out.parallel = true;
+  for (NodeId v : batch.victims) {
+    remove(v);
+    out.cost += last_step_cost();
+    out.used_type2 |= net_.last_report().type2_event;
+  }
+  for (NodeId a : batch.attach_to) {
+    out.inserted.push_back(insert(a));
+    out.cost += last_step_cost();
+    out.used_type2 |= net_.last_report().type2_event;
+  }
   return out;
 }
 
@@ -45,8 +60,30 @@ std::unique_ptr<HealingOverlay> make_overlay(const std::string& backend,
   return nullptr;
 }
 
+const std::vector<std::string>& known_overlays() {
+  static const std::vector<std::string> names{
+      "dex-amortized",
+      "dex-worstcase",
+      "flood",
+      "lawsiu",
+      "randomflip",
+      "xheal",
+  };
+  return names;
+}
+
 const char* overlay_names() {
-  return "dex-amortized, dex-worstcase, flood, lawsiu, randomflip, xheal";
+  // Joined from the registry so the usage string can never drift from what
+  // make_overlay actually accepts.
+  static const std::string joined = [] {
+    std::string s;
+    for (const auto& name : known_overlays()) {
+      if (!s.empty()) s += ", ";
+      s += name;
+    }
+    return s;
+  }();
+  return joined.c_str();
 }
 
 }  // namespace dex::sim

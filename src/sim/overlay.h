@@ -169,12 +169,71 @@ class HealingOverlay {
 // ---------------------------------------------------------------------------
 // Adapters. Each owns its network and exposes it through net() for code that
 // needs construction-specific counters (walk retries, rebuild counts, …).
+// The shared read-only/meter plumbing lives in OverlayAdapter<Net>; the
+// concrete adapters add only what genuinely differs per construction (churn
+// entry points, load semantics, oracles).
 // ---------------------------------------------------------------------------
 
-class DexOverlay final : public HealingOverlay {
+/// The boilerplate every adapter shares: it owns the network object and
+/// forwards n()/alive()/alive_nodes()/alive_mask()/snapshot()/max_degree()/
+/// meter()/last_step_cost() to it. Small API differences between the
+/// networks are absorbed with `if constexpr` probes (XhealNetwork exposes
+/// the topology as graph() rather than a snapshot() copy; DexNetwork
+/// reports step cost through last_report()) so each concrete adapter
+/// overrides only its genuine behavior. All forwards stay virtual — an
+/// adapter can still specialize any of them (e.g. XhealOverlay's
+/// allocation-free max_degree()).
+template <typename Net>
+class OverlayAdapter : public HealingOverlay {
+ public:
+  [[nodiscard]] std::size_t n() const override { return net_.n(); }
+  [[nodiscard]] bool alive(NodeId u) const override { return net_.alive(u); }
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
+    return net_.alive_nodes();
+  }
+  [[nodiscard]] std::vector<bool> alive_mask() const override {
+    return net_.alive_mask();
+  }
+  [[nodiscard]] graph::Multigraph snapshot() const override {
+    if constexpr (requires(const Net& n) { n.snapshot(); }) {
+      return net_.snapshot();
+    } else {
+      return net_.graph();
+    }
+  }
+  [[nodiscard]] std::size_t max_degree() const override {
+    if constexpr (requires(const Net& n) { n.max_degree(); }) {
+      return net_.max_degree();
+    } else {
+      return HealingOverlay::max_degree();
+    }
+  }
+  [[nodiscard]] const CostMeter& meter() const override {
+    return net_.meter();
+  }
+  [[nodiscard]] StepCost last_step_cost() const override {
+    if constexpr (requires(const Net& n) { n.last_step(); }) {
+      return net_.last_step();
+    } else {
+      return net_.last_report().cost;
+    }
+  }
+
+  [[nodiscard]] Net& net() { return net_; }
+  [[nodiscard]] const Net& net() const { return net_; }
+
+ protected:
+  template <typename... Args>
+  explicit OverlayAdapter(Args&&... args)
+      : net_(std::forward<Args>(args)...) {}
+
+  Net net_;
+};
+
+class DexOverlay final : public OverlayAdapter<DexNetwork> {
  public:
   explicit DexOverlay(std::size_t n0, dex::Params params = {})
-      : net_(n0, params),
+      : OverlayAdapter(n0, params),
         name_(params.mode == RecoveryMode::Amortized ? "dex-amortized"
                                                      : "dex-worstcase") {}
 
@@ -184,8 +243,10 @@ class DexOverlay final : public HealingOverlay {
   /// (dex::apply_batch) whenever dex::batch_feasible says the request meets
   /// the model's preconditions (amortized mode, no staggered rebuild,
   /// connectivity/multiplicity conditions); anything else — single events,
-  /// worst-case mode, infeasible batches — takes the sequential default, so
-  /// every batch workload runs end-to-end on every DEX flavour.
+  /// worst-case mode, infeasible batches — takes the sequential path, so
+  /// every batch workload runs end-to-end on every DEX flavour. The
+  /// sequential path additionally attributes type-2 rebuilds fired by its
+  /// events to the outcome (the generic apply_sequential cannot see them).
   BatchOutcome apply(const ChurnBatch& batch) override;
 
   /// Parallel batch recovery on/off (default on). The benches flip this to
@@ -194,206 +255,89 @@ class DexOverlay final : public HealingOverlay {
 
   NodeId insert(NodeId attach_to) override { return net_.insert(attach_to); }
   void remove(NodeId victim) override { net_.remove(victim); }
-  [[nodiscard]] std::size_t n() const override { return net_.n(); }
-  [[nodiscard]] bool alive(NodeId u) const override { return net_.alive(u); }
-  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
-    return net_.alive_nodes();
-  }
-  [[nodiscard]] std::vector<bool> alive_mask() const override {
-    return net_.alive_mask();
-  }
-  [[nodiscard]] graph::Multigraph snapshot() const override {
-    return net_.snapshot();
-  }
   [[nodiscard]] std::size_t load(NodeId u) const override {
     return static_cast<std::size_t>(net_.total_load(u));
-  }
-  /// Ports-derived scan, no snapshot materialization (the inherited default
-  /// would allocate a full multigraph every measured step).
-  [[nodiscard]] std::size_t max_degree() const override {
-    return net_.max_degree();
   }
   [[nodiscard]] NodeId special_node() const override {
     return net_.coordinator();
   }
-  [[nodiscard]] const CostMeter& meter() const override {
-    return net_.meter();
-  }
-  [[nodiscard]] StepCost last_step_cost() const override {
-    return net_.last_report().cost;
-  }
   void check_invariants() const override { net_.check_invariants(); }
 
-  [[nodiscard]] DexNetwork& net() { return net_; }
-  [[nodiscard]] const DexNetwork& net() const { return net_; }
-
  private:
-  DexNetwork net_;
   const char* name_;
   bool parallel_batches_ = true;
 };
 
-class FloodRebuildOverlay final : public HealingOverlay {
+class FloodRebuildOverlay final
+    : public OverlayAdapter<baselines::FloodRebuildNetwork> {
  public:
-  explicit FloodRebuildOverlay(std::size_t n0) : net_(n0) {}
+  explicit FloodRebuildOverlay(std::size_t n0) : OverlayAdapter(n0) {}
 
   [[nodiscard]] const char* name() const override { return "flood"; }
   NodeId insert(NodeId /*attach_to*/) override { return net_.insert(); }
   void remove(NodeId victim) override { net_.remove(victim); }
-  [[nodiscard]] std::size_t n() const override { return net_.n(); }
-  [[nodiscard]] bool alive(NodeId u) const override { return net_.alive(u); }
-  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
-    return net_.alive_nodes();
+  /// The node's actual degree. The rebuilt round-robin mapping is balanced,
+  /// so loads differ by at most one vertex (3 edges) — callers wanting the
+  /// uniform balanced bound should read max_degree(), which is what this
+  /// adapter reported for every node before per-node degrees were wired.
+  [[nodiscard]] std::size_t load(NodeId u) const override {
+    return net_.degree(u);
   }
-  [[nodiscard]] std::vector<bool> alive_mask() const override {
-    return net_.alive_mask();
-  }
-  [[nodiscard]] graph::Multigraph snapshot() const override {
-    return net_.snapshot();
-  }
-  /// The rebuilt mapping is balanced, so every node carries the same load
-  /// up to rounding; report the max (what the old bench view did).
-  [[nodiscard]] std::size_t load(NodeId /*u*/) const override {
-    return net_.max_degree();
-  }
-  [[nodiscard]] std::size_t max_degree() const override {
-    return net_.max_degree();
-  }
-  [[nodiscard]] const CostMeter& meter() const override {
-    return net_.meter();
-  }
-  [[nodiscard]] StepCost last_step_cost() const override {
-    return net_.last_step();
-  }
-
-  [[nodiscard]] baselines::FloodRebuildNetwork& net() { return net_; }
-
- private:
-  baselines::FloodRebuildNetwork net_;
 };
 
-class LawSiuOverlay final : public HealingOverlay {
+class LawSiuOverlay final : public OverlayAdapter<baselines::LawSiuNetwork> {
  public:
   LawSiuOverlay(std::size_t n0, std::size_t d, std::uint64_t seed)
-      : net_(n0, d, seed) {}
+      : OverlayAdapter(n0, d, seed) {}
 
   [[nodiscard]] const char* name() const override { return "lawsiu"; }
   NodeId insert(NodeId /*attach_to*/) override { return net_.insert(); }
   void remove(NodeId victim) override { net_.remove(victim); }
-  [[nodiscard]] std::size_t n() const override { return net_.n(); }
-  [[nodiscard]] bool alive(NodeId u) const override { return net_.alive(u); }
-  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
-    return net_.alive_nodes();
-  }
-  [[nodiscard]] std::vector<bool> alive_mask() const override {
-    return net_.alive_mask();
-  }
-  [[nodiscard]] graph::Multigraph snapshot() const override {
-    return net_.snapshot();
-  }
   [[nodiscard]] std::size_t load(NodeId u) const override {
     return net_.degree(u);
-  }
-  [[nodiscard]] std::size_t max_degree() const override {
-    return net_.max_degree();
-  }
-  [[nodiscard]] const CostMeter& meter() const override {
-    return net_.meter();
-  }
-  [[nodiscard]] StepCost last_step_cost() const override {
-    return net_.last_step();
   }
   [[nodiscard]] bool has_removal_oracle() const override { return true; }
   [[nodiscard]] graph::Multigraph snapshot_without(
       NodeId victim) const override {
     return net_.snapshot_without(victim);
   }
-
-  [[nodiscard]] baselines::LawSiuNetwork& net() { return net_; }
-
- private:
-  baselines::LawSiuNetwork net_;
 };
 
-class RandomFlipOverlay final : public HealingOverlay {
+class RandomFlipOverlay final
+    : public OverlayAdapter<baselines::RandomFlipNetwork> {
  public:
   RandomFlipOverlay(std::size_t n0, std::size_t d, std::uint64_t seed,
                     std::size_t flips_per_step = 4)
-      : net_(n0, d, seed, flips_per_step) {}
+      : OverlayAdapter(n0, d, seed, flips_per_step) {}
 
   [[nodiscard]] const char* name() const override { return "randomflip"; }
   NodeId insert(NodeId /*attach_to*/) override { return net_.insert(); }
   void remove(NodeId victim) override { net_.remove(victim); }
-  [[nodiscard]] std::size_t n() const override { return net_.n(); }
-  [[nodiscard]] bool alive(NodeId u) const override { return net_.alive(u); }
-  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
-    return net_.alive_nodes();
-  }
-  [[nodiscard]] std::vector<bool> alive_mask() const override {
-    return net_.alive_mask();
-  }
-  [[nodiscard]] graph::Multigraph snapshot() const override {
-    return net_.snapshot();
-  }
   [[nodiscard]] std::size_t load(NodeId u) const override {
     return net_.degree(u);
   }
-  [[nodiscard]] std::size_t max_degree() const override {
-    return net_.max_degree();
-  }
-  [[nodiscard]] const CostMeter& meter() const override {
-    return net_.meter();
-  }
-  [[nodiscard]] StepCost last_step_cost() const override {
-    return net_.last_step();
-  }
-
-  [[nodiscard]] baselines::RandomFlipNetwork& net() { return net_; }
-
- private:
-  baselines::RandomFlipNetwork net_;
 };
 
-class XhealOverlay final : public HealingOverlay {
+class XhealOverlay final : public OverlayAdapter<xheal::XhealNetwork> {
  public:
   explicit XhealOverlay(graph::Multigraph initial)
-      : net_(std::move(initial)) {}
+      : OverlayAdapter(std::move(initial)) {}
 
   [[nodiscard]] const char* name() const override { return "xheal"; }
   NodeId insert(NodeId attach_to) override { return net_.insert({attach_to}); }
   void remove(NodeId victim) override { net_.remove(victim); }
-  [[nodiscard]] std::size_t n() const override { return net_.n(); }
-  [[nodiscard]] bool alive(NodeId u) const override { return net_.alive(u); }
-  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
-    return net_.alive_nodes();
-  }
-  [[nodiscard]] std::vector<bool> alive_mask() const override {
-    return net_.alive_mask();
-  }
-  [[nodiscard]] graph::Multigraph snapshot() const override {
-    return net_.graph();
-  }
   [[nodiscard]] std::size_t load(NodeId u) const override {
     return net_.graph().degree(u);
   }
-  /// Scans the live graph by const reference — no snapshot copy.
+  /// Scans the live graph by const reference — no snapshot copy (the base
+  /// falls back to the snapshotting default because XhealNetwork has no
+  /// max_degree accessor).
   [[nodiscard]] std::size_t max_degree() const override {
     const auto& g = net_.graph();
     std::size_t best = 0;
     for (auto u : net_.alive_nodes()) best = std::max(best, g.degree(u));
     return best;
   }
-  [[nodiscard]] const CostMeter& meter() const override {
-    return net_.meter();
-  }
-  [[nodiscard]] StepCost last_step_cost() const override {
-    return net_.last_step();
-  }
-
-  [[nodiscard]] xheal::XhealNetwork& net() { return net_; }
-
- private:
-  xheal::XhealNetwork net_;
 };
 
 /// Backend factory keyed by the names the CLI exposes: "dex-amortized",
@@ -401,6 +345,10 @@ class XhealOverlay final : public HealingOverlay {
 /// random 4-regular graph). Returns nullptr for unknown names.
 [[nodiscard]] std::unique_ptr<HealingOverlay> make_overlay(
     const std::string& backend, std::size_t n0, std::uint64_t seed);
+
+/// The factory names make_overlay accepts, in canonical order (the order
+/// the CLI's `--backend all` and the conformance suites iterate).
+[[nodiscard]] const std::vector<std::string>& known_overlays();
 
 /// Comma-separated list of valid factory names (for usage messages).
 [[nodiscard]] const char* overlay_names();

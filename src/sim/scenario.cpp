@@ -161,11 +161,20 @@ ScenarioResult ScenarioRunner::run() {
     const std::size_t want =
         burst ? std::max<std::size_t>(spec_.batch_size, 1) : 1;
     if (want <= 1) {
-      // Single-event steps keep the exact PR-1 path (one next() draw, one
-      // insert()/remove() call) so legacy specs reproduce byte-identically.
-      apply_action(overlay_, strategy_.next(view, rng, min_n, max_n), rec);
+      // Single-event steps keep the PR-1 decision path (one next() draw, so
+      // legacy specs replay the same strategy stream) but the event goes
+      // through the same apply() surface as every batch — one churn
+      // entry point, and backend-attributed fields (used_type2) populate
+      // on single-event traces too.
+      const adversary::ChurnAction a = strategy_.next(view, rng, min_n, max_n);
+      sim::ChurnBatch one;
+      if (a.insert) {
+        one.attach_to.push_back(a.target);
+      } else {
+        one.victims.push_back(a.target);
+      }
+      apply_batch_step(overlay_, one, rec);
       cache.invalidate();
-      rec.cost = overlay_.last_step_cost();
     } else {
       const sim::ChurnBatch batch =
           strategy_.next_batch(view, rng, min_n, max_n, want);
@@ -237,36 +246,82 @@ std::unique_ptr<adversary::Strategy> make_strategy(
   return nullptr;
 }
 
+const std::vector<std::string>& known_strategies() {
+  static const std::vector<std::string> names{
+      "churn",
+      "insert-only",
+      "delete-only",
+      "oscillate",
+      "targeted",
+      "load-attack",
+      "spectral",
+      "greedy-spectral",
+      "burst",
+      "flash-crowd",
+      "mass-failure",
+  };
+  return names;
+}
+
 const char* strategy_names() {
-  return "churn, insert-only, delete-only, oscillate, targeted, load-attack, "
-         "spectral, greedy-spectral, burst, flash-crowd, mass-failure";
+  // Joined from the registry so the usage string can never drift from what
+  // make_strategy actually accepts.
+  static const std::string joined = [] {
+    std::string s;
+    for (const auto& name : known_strategies()) {
+      if (!s.empty()) s += ", ";
+      s += name;
+    }
+    return s;
+  }();
+  return joined.c_str();
 }
 
 // --------------------------------------------------------------- emission
 
+const std::vector<std::string>& trace_csv_header() {
+  static const std::vector<std::string> header{
+      "step",
+      "op",
+      "target",
+      "new_node",
+      "n",
+      "rounds",
+      "messages",
+      "topology_changes",
+      "batch_inserts",
+      "batch_deletes",
+      "walk_epochs",
+      "used_type2",
+      "max_degree",
+      "gap",
+  };
+  return header;
+}
+
+std::vector<std::string> trace_csv_cells(const StepRecord& r) {
+  const bool single = r.batch_inserts + r.batch_deletes == 1;
+  return {std::to_string(r.step),
+          single ? (r.insert ? "insert" : "delete") : "batch",
+          r.target == graph::kInvalidNode ? std::string()
+                                          : std::to_string(r.target),
+          r.new_node == graph::kInvalidNode ? std::string()
+                                            : std::to_string(r.new_node),
+          std::to_string(r.n),
+          std::to_string(r.cost.rounds),
+          std::to_string(r.cost.messages),
+          std::to_string(r.cost.topology_changes),
+          std::to_string(r.batch_inserts),
+          std::to_string(r.batch_deletes),
+          std::to_string(r.walk_epochs),
+          r.used_type2 ? "1" : "0",
+          std::to_string(r.max_degree),
+          r.gap < 0 ? std::string() : metrics::format_double(r.gap)};
+}
+
 std::string trace_csv(const ScenarioResult& result) {
-  metrics::CsvWriter csv({"step", "op", "target", "new_node", "n", "rounds",
-                          "messages", "topology_changes", "batch_inserts",
-                          "batch_deletes", "walk_epochs", "used_type2",
-                          "max_degree", "gap"});
-  for (const auto& r : result.trace) {
-    const bool single = r.batch_inserts + r.batch_deletes == 1;
-    csv.add_row({std::to_string(r.step),
-                 single ? (r.insert ? "insert" : "delete") : "batch",
-                 r.target == graph::kInvalidNode ? std::string()
-                                                 : std::to_string(r.target),
-                 r.new_node == graph::kInvalidNode
-                     ? std::string()
-                     : std::to_string(r.new_node),
-                 std::to_string(r.n), std::to_string(r.cost.rounds),
-                 std::to_string(r.cost.messages),
-                 std::to_string(r.cost.topology_changes),
-                 std::to_string(r.batch_inserts),
-                 std::to_string(r.batch_deletes),
-                 std::to_string(r.walk_epochs), r.used_type2 ? "1" : "0",
-                 std::to_string(r.max_degree),
-                 r.gap < 0 ? std::string() : metrics::format_double(r.gap)});
-  }
+  metrics::CsvWriter csv(trace_csv_header());
+  for (const auto& r : result.trace) csv.add_row(trace_csv_cells(r));
   return csv.to_string();
 }
 

@@ -155,6 +155,10 @@ class CachedView {
 class ScenarioRunner {
  public:
   /// Called after each recorded step, before the next strategy decision.
+  /// This is the single-trial hook; experiment-level consumers should use
+  /// the streaming MetricSink interface (sim/sinks.h) via the Executor
+  /// (sim/experiment.h), which forwards every StepRecord without the trace
+  /// ever being materialized.
   using StepObserver =
       std::function<void(const StepRecord&, HealingOverlay&)>;
 
@@ -191,12 +195,23 @@ struct StrategyOptions {
 [[nodiscard]] std::unique_ptr<adversary::Strategy> make_strategy(
     const std::string& scenario, const StrategyOptions& opts = {});
 
+/// The strategy names make_strategy accepts, in canonical order.
+[[nodiscard]] const std::vector<std::string>& known_strategies();
+
 /// Comma-separated list of valid scenario names (for usage messages).
 [[nodiscard]] const char* strategy_names();
 
-/// The full per-step trace as CSV (stable header, stable formatting):
-/// step,op,target,new_node,n,rounds,messages,topology_changes,
-/// batch_inserts,batch_deletes,walk_epochs,used_type2,max_degree,gap
+/// The canonical trace columns: step,op,target,new_node,n,rounds,messages,
+/// topology_changes,batch_inserts,batch_deletes,walk_epochs,used_type2,
+/// max_degree,gap. Shared by trace_csv below and the streaming CsvTraceSink
+/// (sim/sinks.h) so the two emission paths can never drift.
+[[nodiscard]] const std::vector<std::string>& trace_csv_header();
+
+/// One StepRecord rendered into the trace_csv_header() columns.
+[[nodiscard]] std::vector<std::string> trace_csv_cells(const StepRecord& r);
+
+/// The full per-step trace as CSV (stable header, stable formatting; see
+/// trace_csv_header for the columns).
 [[nodiscard]] std::string trace_csv(const ScenarioResult& result);
 
 /// Aggregates as a single JSON object.

@@ -1,0 +1,40 @@
+#include "sim/sinks.h"
+
+#include "metrics/emit.h"
+
+namespace dex::sim {
+
+void CsvTraceSink::on_trial_start(const TrialInfo& trial) {
+  (void)trial;
+  if (header_written_) return;
+  header_written_ = true;
+  std::vector<std::string> header;
+  if (trial_column_) header.push_back("trial");
+  const auto& cols = trace_csv_header();
+  header.insert(header.end(), cols.begin(), cols.end());
+  os_ << metrics::csv_line(header);
+}
+
+void CsvTraceSink::on_step(const TrialInfo& trial, const StepRecord& rec) {
+  std::vector<std::string> cells;
+  if (trial_column_) cells.push_back(std::to_string(trial.index));
+  auto step_cells = trace_csv_cells(rec);
+  cells.insert(cells.end(), std::make_move_iterator(step_cells.begin()),
+               std::make_move_iterator(step_cells.end()));
+  os_ << metrics::csv_line(cells);
+}
+
+void JsonSummarySink::on_trial_end(const TrialInfo& trial,
+                                   const ScenarioResult& result) {
+  std::string line = summary_json(result);
+  if (trial_field_) {
+    // summary_json renders a flat object; lead it with the trial index so
+    // JSONL consumers can join lines back to the plan without parsing
+    // labels.
+    line = "{\"trial\": " + std::to_string(trial.index) + ", " +
+           line.substr(1);
+  }
+  os_ << line << '\n';
+}
+
+}  // namespace dex::sim
