@@ -1,100 +1,123 @@
-// E7 — the DHT layered on DEX (§4.4.4): insertion/lookup cost O(log n)
-// messages and rounds across sizes; operations keep working during
-// staggered rebuilds; keys stay balanced across nodes; the rebuild-time
-// re-hash cost amortizes to O(1) per step (the paper staggers it — we
-// report both the burst total and the per-step amortization).
+// E7 — serving key-value traffic under churn (§4.4.4 generalized to every
+// backend). One declarative ExperimentPlan drives all six overlays through
+// the same Zipf read/write mix while batch churn heals underneath: requests
+// route through HealingOverlay::route (DEX: locally computable p-cycle
+// paths; baselines: BFS on the live view), keys re-home by rendezvous
+// hashing into the alive-node space, and the trial aggregates carry hops,
+// stretch vs. BFS-optimal, failed lookups and rehash transfer — the
+// stretch/latency comparison against Law–Siu and Xheal the paper's
+// related-work section argues about. A second sweep pins the paper's
+// original claim: DEX's per-op routing cost stays O(log n) across sizes.
 
 #include <cmath>
 #include <cstdio>
 
 #include "bench_common.h"
-#include "dex/dht.h"
-#include "metrics/stats.h"
 #include "metrics/table.h"
+#include "sim/experiment.h"
+#include "sim/sinks.h"
 
 using namespace dex;
 
+namespace {
+
+double stretch(const sim::ScenarioResult& r) {
+  return r.total_opt_hops == 0
+             ? 1.0
+             : static_cast<double>(r.total_op_hops) /
+                   static_cast<double>(r.total_opt_hops);
+}
+
+double hops_per_op(const sim::ScenarioResult& r) {
+  return r.total_ops == 0 ? 0.0
+                          : static_cast<double>(r.total_op_hops) /
+                                static_cast<double>(r.total_ops);
+}
+
+}  // namespace
+
 int main() {
-  std::printf("=== E7: DHT on DEX ===\n\n-- operation cost vs n --\n\n");
-  metrics::Table t({"n", "p", "put msgs (mean)", "get msgs (mean)",
-                    "get msgs (p99)", "log2 p", "mean/log2 p"});
-  for (std::size_t n0 : {128u, 512u, 2048u, 8192u}) {
-    Params prm;
-    prm.seed = 7 + n0;
-    prm.mode = RecoveryMode::WorstCase;
-    DexNetwork net(n0, prm);
-    Dht dht(net);
-    support::Rng rng(n0);
-    std::vector<double> put_costs, get_costs;
-    for (std::uint64_t k = 0; k < 400; ++k) {
-      const auto origin = net.alive_nodes()[rng.below(net.n())];
-      dht.put(k, k * 3, origin);
-      put_costs.push_back(static_cast<double>(dht.last_cost().messages));
-      (void)dht.get(k, origin);
-      get_costs.push_back(static_cast<double>(dht.last_cost().messages));
-    }
-    const auto ps = metrics::summarize(put_costs);
-    const auto gs = metrics::summarize(get_costs);
-    const double lg = std::log2(static_cast<double>(net.p()));
-    t.add_row({std::to_string(n0), std::to_string(net.p()),
-               metrics::Table::num(ps.mean, 1), metrics::Table::num(gs.mean, 1),
-               metrics::Table::num(gs.p99, 0), metrics::Table::num(lg, 1),
-               metrics::Table::num(gs.mean / lg, 2)});
-  }
-  t.print();
-  std::printf(
-      "\nShape check: mean/log2(p) is a constant across the sweep — the\n"
-      "O(log n) routing claim.\n");
+  std::printf("=== E7: key-value traffic under churn ===\n\n");
 
-  std::printf("\n-- correctness and cost during a staggered inflation --\n\n");
+  std::printf("-- all backends, zipf read/write mix over batch churn --\n\n");
   {
-    Params prm;
-    prm.seed = 3;
-    prm.mode = RecoveryMode::WorstCase;
-    DexNetwork net(128, prm);
-    Dht dht(net);
-    support::Rng rng(9);
-    for (std::uint64_t k = 0; k < 512; ++k) dht.put(k, k ^ 0x5a5a);
-    std::size_t ops_mid_flight = 0, failures = 0;
-    std::vector<double> mid_costs;
-    for (std::size_t s = 0; s < 4000; ++s) {
-      const auto nodes = net.alive_nodes();
-      net.insert(nodes[rng.below(nodes.size())]);
-      if (net.staggered_active()) {
-        const std::uint64_t k = rng.below(512);
-        const auto v = dht.get(k);
-        if (!v || *v != (k ^ 0x5a5a)) ++failures;
-        mid_costs.push_back(static_cast<double>(dht.last_cost().messages));
-        ++ops_mid_flight;
-      }
+    sim::ExperimentPlan plan;
+    plan.backends = sim::known_overlays();
+    plan.scenarios = {"churn"};
+    plan.populations = {64, 256};
+    plan.batch_sizes = {4};
+    plan.seeds = {7};
+    plan.base.steps = 150;
+    plan.base.traffic.workload = "zipf";
+    plan.base.traffic.ops_per_step = 64;
+    plan.base.traffic.keyspace = 2048;
+
+    sim::AggregateSink agg;
+    sim::ExecutorOptions opts;
+    opts.jobs = 0;  // all cores; the output is identical regardless
+    opts.stream_steps = false;
+    opts.collect_results = false;
+    sim::Executor executor(opts);
+    executor.add_sink(agg);
+    executor.run(plan.expand());
+
+    metrics::Table t({"backend", "n0", "ops", "hops/op", "stretch", "failed",
+                      "moved keys", "rehash msgs"});
+    for (const auto& row : agg.rows()) {
+      const auto& r = row.result;
+      t.add_row({r.backend, std::to_string(row.info.n0),
+                 std::to_string(r.total_ops),
+                 metrics::Table::num(hops_per_op(r), 2),
+                 metrics::Table::num(stretch(r), 2),
+                 std::to_string(r.total_failed_lookups),
+                 std::to_string(r.total_moved_keys),
+                 std::to_string(r.total_rehash_messages)});
     }
-    const auto mc = metrics::summarize(mid_costs);
+    t.print();
     std::printf(
-        "lookups issued mid-rebuild: %zu, failures: %zu, mean msgs %.1f "
-        "(p99 %.0f)\n",
-        ops_mid_flight, failures, mc.mean, mc.p99);
-    std::printf("rehash events: %llu, total rehash messages: %llu "
-                "(amortized %.2f per churn step)\n",
-                static_cast<unsigned long long>(dht.rehash_count()),
-                static_cast<unsigned long long>(dht.rehash_messages()),
-                static_cast<double>(dht.rehash_messages()) / 4000.0);
+        "\nShape check: failed lookups are 0 everywhere (no acknowledged key\n"
+        "is lost across rebuilds); the baselines route at stretch 1 by\n"
+        "construction (their request path *is* the BFS optimum, bought with\n"
+        "a global view), while DEX pays a small constant stretch for routes\n"
+        "computable from O(log n) local state.\n");
   }
 
-  std::printf("\n-- key load balance (6400 keys, n=64) --\n\n");
+  std::printf("\n-- DEX routing cost vs n (the O(log n) claim) --\n\n");
   {
-    Params prm;
-    prm.seed = 4;
-    DexNetwork net(64, prm);
-    Dht dht(net);
-    for (std::uint64_t k = 0; k < 6400; ++k) dht.put(k, k);
-    const auto per = dht.items_per_alive_node();
-    std::vector<double> loads(per.begin(), per.end());
-    const auto s = metrics::summarize(loads);
-    std::printf("items/node: mean %.1f, p50 %.0f, p99 %.0f, max %.0f "
-                "(max/mean = %.2f)\n",
-                s.mean, s.p50, s.p99, s.max, s.max / s.mean);
-    std::printf("\nShape check: zero failures mid-rebuild; max/mean load\n"
-                "bounded by a small constant (the 4*zeta vertex cap).\n");
+    sim::ExperimentPlan plan;
+    plan.backends = {"dex-worstcase"};
+    plan.scenarios = {"churn"};
+    plan.populations = {64, 256, 1024};
+    plan.seeds = {11};
+    plan.base.steps = 100;
+    plan.base.traffic.workload = "zipf";
+    plan.base.traffic.ops_per_step = 64;
+    plan.base.traffic.keyspace = 2048;
+
+    sim::AggregateSink agg;
+    sim::ExecutorOptions opts;
+    opts.jobs = 0;
+    opts.stream_steps = false;
+    opts.collect_results = false;
+    sim::Executor executor(opts);
+    executor.add_sink(agg);
+    executor.run(plan.expand());
+
+    metrics::Table t({"n0", "hops/op", "log2 n0", "hops / log2 n0"});
+    for (const auto& row : agg.rows()) {
+      const double lg = std::log2(static_cast<double>(row.info.n0));
+      t.add_row({std::to_string(row.info.n0),
+                 metrics::Table::num(hops_per_op(row.result), 2),
+                 metrics::Table::num(lg, 1),
+                 metrics::Table::num(hops_per_op(row.result) / lg, 2)});
+    }
+    t.print();
+    std::printf(
+        "\nShape check: a 16x population growth moves hops/log2(n) only\n"
+        "within a narrow band (sublinear in n, consistent with the O(log n)\n"
+        "routing claim of §4.4.4, measured under live churn; the residual\n"
+        "upward drift at these small sizes is the p-cycle diameter constant\n"
+        "still settling, so expect near-flat, not exactly flat).\n");
   }
   return 0;
 }

@@ -26,6 +26,12 @@
 //            --insert-prob=P --gap-every=K --no-trace
 //            --burst=K        burst batch_size every K steps, single events
 //                             between (default 0 = batch every step)
+//            --workload=NAME  serve key-value traffic between churn steps
+//                             (uniform, zipf, hotspot); requests route via
+//                             p-cycle paths on DEX, BFS on the baselines
+//            --ops-per-step=N --keys=K --zipf=S --read-frac=P
+//                             traffic knobs (requests/step, keyspace, zipf
+//                             exponent, read share)
 //            --sweep          expand the comma-list axes into a full grid
 //                             (backends x scenarios x n0s x batch sizes x
 //                             seeds) and prepend a trial column/field
@@ -160,12 +166,15 @@ void print_usage(std::FILE* out) {
       "                   [--steps=N] [--seed=S,..] [--min-n=N] [--max-n=N]\n"
       "                   [--warmup=N] [--insert-prob=P] [--gap-every=K]\n"
       "                   [--batch-size=B,..] [--burst=K] [--no-trace]\n"
+      "                   [--workload=NAME] [--ops-per-step=N] [--keys=K]\n"
+      "                   [--zipf=S] [--read-frac=P]\n"
       "                   [--sweep] [--jobs=J] [--csv=FILE] [--json=FILE]\n"
       "       dex_sim_cli [script-file]        (legacy scripted mode)\n"
       "\n"
-      "Flags take --flag=VALUE or --flag VALUE.\n"
+      "Every flag accepts both the =VALUE form and a following VALUE arg.\n"
       "backends:  %s\n"
       "scenarios: %s\n"
+      "workloads: %s\n"
       "\n"
       "--batch-size drives B churn events per step through the batch-first\n"
       "apply() surface (DEX heals feasible batches with parallel walks,\n"
@@ -174,16 +183,26 @@ void print_usage(std::FILE* out) {
       "trial to stderr (or --json FILE). Same --seed => same adversary\n"
       "decision sequence across backends.\n"
       "\n"
+      "--workload serves key-value traffic through every overlay between\n"
+      "churn steps (requests route via p-cycle paths on DEX, BFS on the\n"
+      "baselines): --ops-per-step requests per step over --keys distinct\n"
+      "keys, --zipf exponent for the zipf/hotspot rank distribution,\n"
+      "--read-frac read share. The trace gains ops/op_hops/opt_hops/\n"
+      "failed_lookups/stretch/moved_keys/rehash_messages columns and the\n"
+      "summary their totals.\n"
+      "\n"
       "--sweep expands comma-listed --backend/--scenario/--n0/--batch-size/\n"
       "--seed axes into a grid (--backend all = every backend) and runs the\n"
       "trials on --jobs threads; rows gain a leading trial column and the\n"
       "output is byte-identical for every --jobs value.\n",
-      dex::sim::overlay_names(), dex::sim::strategy_names());
+      dex::sim::overlay_names(), dex::sim::strategy_names(),
+      dex::sim::workload_names());
 }
 
 int run_scenario(int argc, char** argv) {
   ScenarioArgs a;
   a.spec.steps = 256;
+  bool traffic_knob = false;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -224,6 +243,20 @@ int run_scenario(int argc, char** argv) {
         a.spec.gap_every = parse_u64(v);
       } else if (parse_flag(argc, argv, i, "burst", v)) {
         a.spec.burst_every = parse_u64(v);
+      } else if (parse_flag(argc, argv, i, "workload", v)) {
+        a.spec.traffic.workload = v;
+      } else if (parse_flag(argc, argv, i, "ops-per-step", v)) {
+        a.spec.traffic.ops_per_step = parse_u64(v);
+        traffic_knob = true;
+      } else if (parse_flag(argc, argv, i, "keys", v)) {
+        a.spec.traffic.keyspace = parse_u64(v);
+        traffic_knob = true;
+      } else if (parse_flag(argc, argv, i, "zipf", v)) {
+        a.spec.traffic.zipf_s = parse_double(v);
+        traffic_knob = true;
+      } else if (parse_flag(argc, argv, i, "read-frac", v)) {
+        a.spec.traffic.read_fraction = parse_double(v);
+        traffic_knob = true;
       } else if (parse_flag(argc, argv, i, "jobs", v)) {
         a.jobs = parse_u64(v);
       } else if (parse_flag(argc, argv, i, "csv", v)) {
@@ -275,6 +308,34 @@ int run_scenario(int argc, char** argv) {
                    dex::sim::strategy_names());
       return 2;
     }
+  }
+  const auto& workloads = dex::sim::known_workloads();
+  if (a.spec.traffic.enabled()) {
+    const auto& t = a.spec.traffic;
+    if (std::find(workloads.begin(), workloads.end(), t.workload) ==
+        workloads.end()) {
+      std::fprintf(stderr, "unknown workload '%s' (valid: %s)\n",
+                   t.workload.c_str(), dex::sim::workload_names());
+      return 2;
+    }
+    if (t.ops_per_step == 0 || t.keyspace == 0) {
+      std::fprintf(stderr,
+                   "--ops-per-step and --keys must be >= 1 with a workload\n");
+      return 2;
+    }
+    if (!(t.zipf_s > 0.0)) {
+      std::fprintf(stderr, "--zipf must be > 0\n");
+      return 2;
+    }
+    if (!(t.read_fraction >= 0.0 && t.read_fraction <= 1.0)) {
+      std::fprintf(stderr, "--read-frac must be in [0, 1]\n");
+      return 2;
+    }
+  } else if (traffic_knob) {
+    std::fprintf(stderr,
+                 "traffic flags (--ops-per-step/--keys/--zipf/--read-frac) "
+                 "need --workload\n");
+    return 2;
   }
   if (a.spec.burst_every > 0 &&
       *std::max_element(a.batch_sizes.begin(), a.batch_sizes.end()) <= 1) {

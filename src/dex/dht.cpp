@@ -7,8 +7,15 @@
 namespace dex {
 
 NodeId Dht::resolve_origin(NodeId origin) const {
-  if (origin != kInvalidNode && net_.alive(origin)) return origin;
-  return net_.coordinator();
+  if (origin == kInvalidNode) return net_.coordinator();
+  if (net_.alive(origin)) return origin;
+  // A churned-out origin re-enters through a live proxy. Hash the stale id
+  // into the vertex space and take the owner: funnelling every stale-origin
+  // request through the coordinator instead would manufacture a traffic
+  // hotspot on the one node the paper works hardest to keep cheap, and
+  // would mismeasure routing cost (the coordinator's vertex sits at the
+  // root of the cached BFS tree).
+  return net_.mapping().owner(support::mix64(origin) % net_.p());
 }
 
 std::uint64_t Dht::route_cost(NodeId origin, Vertex target) const {

@@ -13,7 +13,9 @@
 /// When a type-2 rebuild replaces the p-cycle, keys re-hash under h_{s'}.
 /// The paper staggers the hand-over alongside the rebuild; we perform it
 /// lazily at the first operation after the swap and report both the total
-/// transfer cost and its per-step amortization (see EXPERIMENTS.md, E7).
+/// transfer cost and its per-step amortization (see docs/EXPERIMENTS.md,
+/// E7 — which also covers the backend-agnostic generalization of this
+/// store, sim::KvStore in src/sim/workload.h).
 
 #include <cstdint>
 #include <optional>
@@ -30,7 +32,11 @@ class Dht {
   explicit Dht(DexNetwork& net) : net_(net), epoch_(net.cycle_epoch()) {}
 
   /// Stores (key, value), overwriting a previous binding. `origin` is the
-  /// requesting node (defaults to the coordinator).
+  /// requesting node (defaults to the coordinator). An origin that has been
+  /// churned out re-enters through a deterministic live proxy — the owner
+  /// of the stale id hashed into the vertex space — so requests never route
+  /// from a dead node and stale-origin traffic stays spread instead of
+  /// piling onto the coordinator.
   void put(std::uint64_t key, std::uint64_t value,
            NodeId origin = kInvalidNode);
 

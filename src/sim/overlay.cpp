@@ -1,9 +1,37 @@
 #include "sim/overlay.h"
 
+#include <deque>
+
 #include "dex/batch.h"
 #include "graph/generators.h"
 
 namespace dex::sim {
+
+std::vector<NodeId> HealingOverlay::route(
+    NodeId src, NodeId dst, const graph::Multigraph& g,
+    const std::vector<bool>& alive) const {
+  if (src == dst) return {src};
+  if (src >= g.node_count() || dst >= g.node_count()) return {};
+  // BFS shortest path restricted to alive nodes, parents reconstructed.
+  std::vector<NodeId> parent(g.node_count(), graph::kInvalidNode);
+  std::deque<NodeId> frontier{src};
+  parent[src] = src;
+  while (!frontier.empty() && parent[dst] == graph::kInvalidNode) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : g.ports(u)) {
+      if (parent[v] != graph::kInvalidNode || (v < alive.size() && !alive[v]))
+        continue;
+      parent[v] = u;
+      frontier.push_back(v);
+    }
+  }
+  if (parent[dst] == graph::kInvalidNode) return {};
+  std::vector<NodeId> path{dst};
+  for (NodeId u = dst; u != src; u = parent[u]) path.push_back(parent[u]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
 
 BatchOutcome DexOverlay::apply(const ChurnBatch& batch) {
   if (parallel_batches_ && batch.size() > 1) {
@@ -35,6 +63,32 @@ BatchOutcome DexOverlay::apply(const ChurnBatch& batch) {
     out.used_type2 |= net_.last_report().type2_event;
   }
   return out;
+}
+
+std::vector<NodeId> DexOverlay::route(NodeId src, NodeId dst,
+                                      const graph::Multigraph& g,
+                                      const std::vector<bool>& alive) const {
+  if (src == dst) return {src};
+  const auto& ss = net_.mapping().sim(src);
+  const auto& ds = net_.mapping().sim(dst);
+  if (ss.empty() || ds.empty()) {
+    // Mid-build newcomers own no current-cycle vertex yet; they reach the
+    // network through their attachment edges, which only the real topology
+    // knows about.
+    return HealingOverlay::route(src, dst, g, alive);
+  }
+  const auto vpath = net_.cycle().shortest_path(ss[0], ds[0]);
+  std::vector<NodeId> path;
+  path.reserve(vpath.size());
+  for (const Vertex z : vpath) {
+    // Each virtual edge is materialized between the owners of its
+    // endpoints, so contracting the vertex path yields a valid hop path;
+    // consecutive same-owner vertices collapse into zero-cost local steps.
+    const NodeId u = net_.mapping().owner(z);
+    if (path.empty() || path.back() != u) path.push_back(u);
+  }
+  DEX_ASSERT(path.front() == src && path.back() == dst);
+  return path;
 }
 
 std::unique_ptr<HealingOverlay> make_overlay(const std::string& backend,

@@ -115,6 +115,26 @@ class HealingOverlay {
     return graph::kInvalidNode;
   }
 
+  // ----- the routing surface (traffic layer, §4.4.4 generalized) -----
+
+  /// Hop path from `src` to `dst` over the live real topology, inclusive of
+  /// both endpoints ({src} when src == dst; empty when unreachable). `g` and
+  /// `alive` are the caller's step-cached live view (sim::KvStore refreshes
+  /// them once per churn step through CachedView): the baselines maintain no
+  /// routing state, so their canonical request path is a BFS shortest path
+  /// on what they see — that is this default. DexOverlay overrides it with
+  /// the locally computable p-cycle route of §4.4.4 (no global view needed,
+  /// at the price of stretch > 1 against the BFS optimum).
+  [[nodiscard]] virtual std::vector<NodeId> route(
+      NodeId src, NodeId dst, const graph::Multigraph& g,
+      const std::vector<bool>& alive) const;
+
+  /// Whether route() returns a shortest path on the given view. True for
+  /// the BFS default; overlays routing on their own structure (DEX) return
+  /// false, and consumers measuring stretch (sim::KvStore) then pay one
+  /// extra BFS per request for the optimum instead of assuming it.
+  [[nodiscard]] virtual bool route_is_shortest() const { return true; }
+
   // ----- cost accounting -----
 
   [[nodiscard]] virtual const CostMeter& meter() const = 0;
@@ -252,6 +272,19 @@ class DexOverlay final : public OverlayAdapter<DexNetwork> {
   /// Parallel batch recovery on/off (default on). The benches flip this to
   /// measure the sequential baseline on the same backend.
   void set_parallel_batches(bool enabled) { parallel_batches_ = enabled; }
+
+  /// The §4.4.4 route: the p-cycle shortest path between a simulated vertex
+  /// of src and one of dst, contracted through the virtual mapping — every
+  /// hop is a materialized real edge, and both endpoints compute it from
+  /// O(log n) local state (the cached view is ignored). Mid-build newcomers
+  /// without an owned vertex fall back to the BFS default.
+  [[nodiscard]] std::vector<NodeId> route(
+      NodeId src, NodeId dst, const graph::Multigraph& g,
+      const std::vector<bool>& alive) const override;
+
+  /// P-cycle routes trade optimality for local computability (that is the
+  /// measured stretch).
+  [[nodiscard]] bool route_is_shortest() const override { return false; }
 
   NodeId insert(NodeId attach_to) override { return net_.insert(attach_to); }
   void remove(NodeId victim) override { net_.remove(victim); }

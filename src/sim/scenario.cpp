@@ -132,6 +132,15 @@ ScenarioResult ScenarioRunner::run() {
   CachedView cache(overlay_);
   const adversary::AdversaryView& view = cache.view();
 
+  // The traffic engine's RNG is salted off the spec seed, so serving
+  // requests never perturbs the adversary stream: the same spec with
+  // traffic off replays the identical churn.
+  std::unique_ptr<TrafficEngine> traffic;
+  if (spec_.traffic.enabled()) {
+    traffic =
+        std::make_unique<TrafficEngine>(overlay_, spec_.traffic, spec_.seed);
+  }
+
   ScenarioResult result;
   result.backend = overlay_.name();
   result.spec = spec_;
@@ -160,6 +169,7 @@ ScenarioResult ScenarioRunner::run() {
     const bool burst = spec_.burst_every == 0 || t % spec_.burst_every == 0;
     const std::size_t want =
         burst ? std::max<std::size_t>(spec_.batch_size, 1) : 1;
+    sim::ChurnBatch batch;
     if (want <= 1) {
       // Single-event steps keep the PR-1 decision path (one next() draw, so
       // legacy specs replay the same strategy stream) but the event goes
@@ -167,23 +177,37 @@ ScenarioResult ScenarioRunner::run() {
       // entry point, and backend-attributed fields (used_type2) populate
       // on single-event traces too.
       const adversary::ChurnAction a = strategy_.next(view, rng, min_n, max_n);
-      sim::ChurnBatch one;
       if (a.insert) {
-        one.attach_to.push_back(a.target);
+        batch.attach_to.push_back(a.target);
       } else {
-        one.victims.push_back(a.target);
+        batch.victims.push_back(a.target);
       }
-      apply_batch_step(overlay_, one, rec);
-      cache.invalidate();
     } else {
-      const sim::ChurnBatch batch =
-          strategy_.next_batch(view, rng, min_n, max_n, want);
-      const BatchOutcome out = apply_batch_step(overlay_, batch, rec);
-      cache.invalidate();
-      if (out.parallel) ++result.parallel_steps;
+      batch = strategy_.next_batch(view, rng, min_n, max_n, want);
     }
+    // The hotspot workload notes the region about to churn (adjacency from
+    // its own cached pre-churn topology).
+    if (traffic) traffic->observe_churn(batch);
+    const BatchOutcome out = apply_batch_step(overlay_, batch, rec);
+    cache.invalidate();
+    if (want > 1 && out.parallel) ++result.parallel_steps;
 
     rec.n = overlay_.n();
+    if (traffic) {
+      const TrafficStepStats ts = traffic->step(view);
+      rec.ops = ts.ops;
+      rec.op_hops = ts.op_hops;
+      rec.opt_hops = ts.opt_hops;
+      rec.failed_lookups = ts.failed_lookups;
+      rec.moved_keys = ts.moved_keys;
+      rec.rehash_messages = ts.rehash_messages;
+      result.total_ops += ts.ops;
+      result.total_op_hops += ts.op_hops;
+      result.total_opt_hops += ts.opt_hops;
+      result.total_failed_lookups += ts.failed_lookups;
+      result.total_moved_keys += ts.moved_keys;
+      result.total_rehash_messages += ts.rehash_messages;
+    }
     result.total_inserts += rec.batch_inserts;
     result.total_deletes += rec.batch_deletes;
     result.total_walk_epochs += rec.walk_epochs;
@@ -295,6 +319,13 @@ const std::vector<std::string>& trace_csv_header() {
       "used_type2",
       "max_degree",
       "gap",
+      "ops",
+      "op_hops",
+      "opt_hops",
+      "failed_lookups",
+      "stretch",
+      "moved_keys",
+      "rehash_messages",
   };
   return header;
 }
@@ -316,7 +347,17 @@ std::vector<std::string> trace_csv_cells(const StepRecord& r) {
           std::to_string(r.walk_epochs),
           r.used_type2 ? "1" : "0",
           std::to_string(r.max_degree),
-          r.gap < 0 ? std::string() : metrics::format_double(r.gap)};
+          r.gap < 0 ? std::string() : metrics::format_double(r.gap),
+          std::to_string(r.ops),
+          std::to_string(r.op_hops),
+          std::to_string(r.opt_hops),
+          std::to_string(r.failed_lookups),
+          r.opt_hops == 0 ? std::string()
+                          : metrics::format_double(
+                                static_cast<double>(r.op_hops) /
+                                static_cast<double>(r.opt_hops)),
+          std::to_string(r.moved_keys),
+          std::to_string(r.rehash_messages)};
 }
 
 std::string trace_csv(const ScenarioResult& result) {
@@ -376,6 +417,26 @@ std::string summary_json(const ScenarioResult& result) {
   if (result.spec.measure_degree)
     o.add("max_degree", static_cast<std::uint64_t>(result.max_degree));
   if (result.spec.gap_every > 0) o.add("min_gap", result.min_gap);
+  if (result.spec.traffic.enabled()) {
+    const auto& t = result.spec.traffic;
+    o.add("workload", t.workload)
+        .add("ops_per_step", static_cast<std::uint64_t>(t.ops_per_step))
+        .add("keyspace", static_cast<std::uint64_t>(t.keyspace))
+        .add("read_fraction", t.read_fraction);
+    if (t.workload != "uniform") o.add("zipf_s", t.zipf_s);
+    o.add("total_ops", static_cast<std::uint64_t>(result.total_ops))
+        .add("total_op_hops", result.total_op_hops)
+        .add("total_opt_hops", result.total_opt_hops)
+        .add("mean_stretch",
+             result.total_opt_hops == 0
+                 ? 1.0
+                 : static_cast<double>(result.total_op_hops) /
+                       static_cast<double>(result.total_opt_hops))
+        .add("failed_lookups",
+             static_cast<std::uint64_t>(result.total_failed_lookups))
+        .add("moved_keys", static_cast<std::uint64_t>(result.total_moved_keys))
+        .add("rehash_messages", result.total_rehash_messages);
+  }
   return o.to_string();
 }
 

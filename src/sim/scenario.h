@@ -19,6 +19,7 @@
 #include "metrics/stats.h"
 #include "sim/meters.h"
 #include "sim/overlay.h"
+#include "sim/workload.h"
 
 namespace dex::sim {
 
@@ -58,6 +59,12 @@ struct ScenarioSpec {
   /// computed either way; turn this off for long runs where only the
   /// summary (or the step observer) is consumed.
   bool record_trace = true;
+  /// Key-value traffic interleaved with the churn (sim/workload.h): after
+  /// each applied ChurnBatch the runner re-homes displaced keys and serves
+  /// traffic.ops_per_step requests through the overlay's routing surface.
+  /// Disabled by default (traffic.workload empty); the request stream uses
+  /// its own RNG, so enabling it replays the same churn byte-for-byte.
+  TrafficSpec traffic;
   /// Free-form scenario/strategy label identifying the workload in the
   /// emitted summary. The summary records every ScenarioSpec parameter;
   /// strategy-internal knobs (a Strategy is an opaque object) are the
@@ -104,6 +111,19 @@ struct StepRecord {
   std::size_t max_degree = 0;
   /// Spectral gap after the step; -1 unless sampled (spec.gap_every).
   double gap = -1.0;
+  // --- traffic fields (all 0 unless spec.traffic is enabled) ---
+  /// Requests served after this step's churn.
+  std::size_t ops = 0;
+  /// Total realized route hops across those requests (gets pay the round
+  /// trip) and the BFS-optimal total for the same (origin, home) pairs —
+  /// their ratio is the step's routing stretch.
+  std::uint64_t op_hops = 0;
+  std::uint64_t opt_hops = 0;
+  /// Reads of an acknowledged key that missed or returned a stale value.
+  std::size_t failed_lookups = 0;
+  /// Keys re-homed by this step's churn, and the transfer messages charged.
+  std::size_t moved_keys = 0;
+  std::uint64_t rehash_messages = 0;
 };
 
 struct ScenarioResult {
@@ -126,6 +146,14 @@ struct ScenarioResult {
   double min_gap = 1.0;        ///< min over sampled records (1.0 if none)
   std::size_t start_n = 0;     ///< population when run() began
   std::size_t final_n = 0;
+  /// Traffic aggregates over all executed steps — accumulated whether or
+  /// not the trace is recorded (0 with traffic disabled).
+  std::size_t total_ops = 0;
+  std::uint64_t total_op_hops = 0;
+  std::uint64_t total_opt_hops = 0;
+  std::size_t total_failed_lookups = 0;
+  std::size_t total_moved_keys = 0;
+  std::uint64_t total_rehash_messages = 0;
 };
 
 /// AdversaryView over an overlay whose expensive components (alive_nodes,
@@ -203,8 +231,11 @@ struct StrategyOptions {
 
 /// The canonical trace columns: step,op,target,new_node,n,rounds,messages,
 /// topology_changes,batch_inserts,batch_deletes,walk_epochs,used_type2,
-/// max_degree,gap. Shared by trace_csv below and the streaming CsvTraceSink
-/// (sim/sinks.h) so the two emission paths can never drift.
+/// max_degree,gap,ops,op_hops,opt_hops,failed_lookups,stretch,moved_keys,
+/// rehash_messages (stretch = op_hops/opt_hops, blank when no routed op;
+/// the traffic columns are 0/blank when the spec carries no workload).
+/// Shared by trace_csv below and the streaming CsvTraceSink (sim/sinks.h)
+/// so the two emission paths can never drift.
 [[nodiscard]] const std::vector<std::string>& trace_csv_header();
 
 /// One StepRecord rendered into the trace_csv_header() columns.

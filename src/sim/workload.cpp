@@ -1,0 +1,317 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.h"
+#include "support/assert.h"
+
+namespace dex::sim {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+
+namespace {
+
+/// Rendezvous (HRW) weight of `node` for a pre-mixed key hash. 64-bit mixes
+/// make ties essentially impossible; best_home still breaks them by id so
+/// placement is a pure function of (key, alive set).
+std::uint64_t hrw_score(std::uint64_t key_hash, NodeId node) {
+  return support::mix64(key_hash ^ (0x9e3779b97f4a7c15ULL * (node + 1)));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ KvStore
+
+KvStore::KvStore(const HealingOverlay& overlay) : overlay_(overlay) {}
+
+KvStore::Placement KvStore::best_home(std::uint64_t key) const {
+  DEX_ASSERT_MSG(!alive_.empty(), "KvStore over an empty overlay");
+  const std::uint64_t kh = support::mix64(key);
+  Placement best;
+  for (const NodeId u : alive_) {
+    const std::uint64_t s = hrw_score(kh, u);
+    if (best.home == kInvalidNode || s > best.score ||
+        (s == best.score && u < best.home)) {
+      best = {u, s};
+    }
+  }
+  return best;
+}
+
+NodeId KvStore::resolve_origin(NodeId origin) const {
+  if (origin != kInvalidNode && origin < mask_.size() && mask_[origin]) {
+    return origin;
+  }
+  return alive_[support::mix64(origin) % alive_.size()];
+}
+
+bool KvStore::route_op(NodeId origin, NodeId home, OpResult& out) const {
+  const auto path = overlay_.route(origin, home, topo_, mask_);
+  if (path.empty()) return false;
+  out.hops = static_cast<std::uint64_t>(path.size() - 1);
+  if (overlay_.route_is_shortest()) {
+    // The realized path is the BFS optimum already; a second full-graph
+    // BFS per request would only recompute path.size() - 1.
+    out.optimal_hops = out.hops;
+    return true;
+  }
+  const auto dist = graph::bfs_distances(topo_, origin, mask_);
+  out.optimal_hops = home < dist.size() && dist[home] != graph::kUnreached
+                         ? dist[home]
+                         : out.hops;
+  return true;
+}
+
+KvStore::SyncStats KvStore::sync(const adversary::AdversaryView& view) {
+  auto fresh = view.alive_nodes();
+  std::sort(fresh.begin(), fresh.end());
+  topo_ = view.snapshot();
+  mask_ = view.alive_mask();
+  std::vector<NodeId> added;
+  std::set_difference(fresh.begin(), fresh.end(), alive_.begin(), alive_.end(),
+                      std::back_inserter(added));
+  const bool first = !synced_;
+  alive_ = std::move(fresh);
+  synced_ = true;
+  last_moved_.clear();
+  SyncStats out;
+  if (first || placed_.empty()) return out;
+
+  struct Move {
+    std::uint64_t key;
+    NodeId from;
+    NodeId to;
+  };
+  std::vector<Move> moves;
+  for (auto& [key, pl] : placed_) {
+    const bool home_dead = pl.home >= mask_.size() || !mask_[pl.home];
+    Placement np = pl;
+    if (home_dead) {
+      np = best_home(key);
+    } else if (!added.empty()) {
+      // The incumbent's weight is unchanged; only a newcomer can beat it.
+      const std::uint64_t kh = support::mix64(key);
+      for (const NodeId a : added) {
+        const std::uint64_t s = hrw_score(kh, a);
+        if (s > np.score || (s == np.score && a < np.home)) np = {a, s};
+      }
+    }
+    if (np.home != pl.home) {
+      moves.push_back({key, pl.home, np.home});
+      pl = np;
+    }
+  }
+  if (moves.empty()) return out;
+
+  // One BFS per distinct destination prices every transfer to it: the exact
+  // old->new distance when the old host survived (a handover), else the mean
+  // distance from the new home (the expected pull from wherever the healed
+  // overlay recovered the item).
+  std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+    return a.to != b.to ? a.to < b.to : a.key < b.key;
+  });
+  for (std::size_t i = 0; i < moves.size();) {
+    const NodeId to = moves[i].to;
+    const auto dist = graph::bfs_distances(topo_, to, mask_);
+    std::uint64_t reach_sum = 0, reach_cnt = 0;
+    for (const NodeId u : alive_) {
+      if (dist[u] != graph::kUnreached) {
+        reach_sum += dist[u];
+        ++reach_cnt;
+      }
+    }
+    const std::uint64_t mean =
+        std::max<std::uint64_t>(reach_cnt ? reach_sum / reach_cnt : 1, 1);
+    for (; i < moves.size() && moves[i].to == to; ++i) {
+      const NodeId from = moves[i].from;
+      const bool from_alive = from < mask_.size() && mask_[from];
+      out.messages += from_alive && dist[from] != graph::kUnreached
+                          ? dist[from]
+                          : mean;
+      last_moved_.push_back(moves[i].key);
+    }
+  }
+  std::sort(last_moved_.begin(), last_moved_.end());
+  out.moved_keys = moves.size();
+  moved_total_ += out.moved_keys;
+  rehash_messages_total_ += out.messages;
+  return out;
+}
+
+KvStore::OpResult KvStore::put(std::uint64_t key, std::uint64_t value,
+                               NodeId origin) {
+  DEX_ASSERT_MSG(synced_, "KvStore::sync must run before operations");
+  OpResult r;
+  const auto it = placed_.find(key);
+  const Placement pl = it != placed_.end() ? it->second : best_home(key);
+  if (!route_op(resolve_origin(origin), pl.home, r)) return r;
+  placed_[key] = pl;
+  values_[key] = value;
+  r.ok = true;
+  return r;
+}
+
+KvStore::OpResult KvStore::get(std::uint64_t key, NodeId origin) {
+  DEX_ASSERT_MSG(synced_, "KvStore::sync must run before operations");
+  OpResult r;
+  const auto it = placed_.find(key);
+  const Placement pl = it != placed_.end() ? it->second : best_home(key);
+  if (!route_op(resolve_origin(origin), pl.home, r)) return r;
+  r.hops *= 2;  // request + reply
+  r.optimal_hops *= 2;
+  const auto vit = values_.find(key);
+  if (vit == values_.end()) return r;
+  r.ok = true;
+  r.value = vit->second;
+  return r;
+}
+
+KvStore::OpResult KvStore::erase(std::uint64_t key, NodeId origin) {
+  DEX_ASSERT_MSG(synced_, "KvStore::sync must run before operations");
+  OpResult r;
+  const auto it = placed_.find(key);
+  const Placement pl = it != placed_.end() ? it->second : best_home(key);
+  if (!route_op(resolve_origin(origin), pl.home, r)) return r;
+  r.ok = values_.erase(key) > 0;
+  placed_.erase(key);
+  return r;
+}
+
+std::vector<std::uint64_t> KvStore::keys_at(
+    const std::vector<NodeId>& homes) const {
+  std::vector<std::uint64_t> out;
+  if (homes.empty() || placed_.empty()) return out;
+  std::vector<bool> wanted(mask_.size(), false);
+  for (const NodeId h : homes) {
+    if (h < wanted.size()) wanted[h] = true;
+  }
+  for (const auto& [key, pl] : placed_) {
+    if (pl.home < wanted.size() && wanted[pl.home]) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+NodeId KvStore::home(std::uint64_t key) const {
+  DEX_ASSERT_MSG(synced_, "KvStore::sync must run before operations");
+  const auto it = placed_.find(key);
+  return it != placed_.end() ? it->second.home : best_home(key).home;
+}
+
+// ------------------------------------------------------------ TrafficEngine
+
+const std::vector<std::string>& known_workloads() {
+  static const std::vector<std::string> names{"uniform", "zipf", "hotspot"};
+  return names;
+}
+
+const char* workload_names() {
+  // Joined from the registry so usage strings can never drift from what
+  // TrafficEngine actually accepts.
+  static const std::string joined = [] {
+    std::string s;
+    for (const auto& name : known_workloads()) {
+      if (!s.empty()) s += ", ";
+      s += name;
+    }
+    return s;
+  }();
+  return joined.c_str();
+}
+
+TrafficEngine::TrafficEngine(const HealingOverlay& overlay, TrafficSpec spec,
+                             std::uint64_t trial_seed)
+    : spec_(std::move(spec)),
+      kv_(overlay),
+      rng_(trial_seed ^ kTrafficSeedSalt) {
+  DEX_ASSERT_MSG(std::find(known_workloads().begin(), known_workloads().end(),
+                           spec_.workload) != known_workloads().end(),
+                 "unknown workload name");
+  DEX_ASSERT_MSG(spec_.keyspace > 0, "traffic needs a non-empty keyspace");
+  if (spec_.workload != "uniform") {
+    // Zipf CDF over key ranks (key identity == rank: low keys are hot);
+    // also the hotspot workload's background distribution.
+    zipf_cdf_.reserve(spec_.keyspace);
+    double total = 0.0;
+    for (std::size_t i = 0; i < spec_.keyspace; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), spec_.zipf_s);
+      zipf_cdf_.push_back(total);
+    }
+    for (auto& c : zipf_cdf_) c /= total;
+  }
+}
+
+std::uint64_t TrafficEngine::pick_key() {
+  if (spec_.workload == "hotspot" && !hot_keys_.empty() && rng_.chance(0.8)) {
+    return hot_keys_[rng_.below(hot_keys_.size())];
+  }
+  if (zipf_cdf_.empty()) return rng_.below(spec_.keyspace);
+  const double u = rng_.uniform01();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - zipf_cdf_.begin());
+}
+
+void TrafficEngine::observe_churn(const ChurnBatch& batch) {
+  if (spec_.workload != "hotspot") return;
+  // The region about to churn: every attach point plus every victim's
+  // current neighborhood (the victims themselves will be gone by the time
+  // requests fire; their neighbors inherit the turbulence). Adjacency comes
+  // from the store's cached topology — frozen since the last sync, i.e.
+  // exactly the pre-churn view — not from a fresh snapshot copy. Before the
+  // first sync there is nothing cached and no key placed, so there is no
+  // region worth capturing either.
+  std::vector<NodeId> region = batch.attach_to;
+  if (!batch.victims.empty() && kv_.synced()) {
+    const auto& g = kv_.topology();
+    for (const NodeId v : batch.victims) {
+      if (v >= g.node_count()) continue;
+      for (const NodeId u : g.ports(v)) region.push_back(u);
+    }
+  }
+  std::sort(region.begin(), region.end());
+  region.erase(std::unique(region.begin(), region.end()), region.end());
+  hot_nodes_ = std::move(region);
+}
+
+TrafficStepStats TrafficEngine::step(const adversary::AdversaryView& view) {
+  TrafficStepStats st;
+  const auto sync = kv_.sync(view);
+  st.moved_keys = sync.moved_keys;
+  st.rehash_messages = sync.messages;
+  if (spec_.workload == "hotspot") {
+    // Primary targets: the keys churn just displaced (post-rebuild cache
+    // misses). Secondary: whatever still lives in the churned region.
+    hot_keys_ = kv_.last_moved();
+    auto regional = kv_.keys_at(hot_nodes_);
+    hot_keys_.insert(hot_keys_.end(), regional.begin(), regional.end());
+    std::sort(hot_keys_.begin(), hot_keys_.end());
+    hot_keys_.erase(std::unique(hot_keys_.begin(), hot_keys_.end()),
+                    hot_keys_.end());
+  }
+  const auto nodes = view.alive_nodes();
+  DEX_ASSERT(!nodes.empty());
+  for (std::size_t i = 0; i < spec_.ops_per_step; ++i) {
+    const std::uint64_t key = pick_key();
+    const NodeId origin = nodes[rng_.below(nodes.size())];
+    const auto known = acked_.find(key);
+    const bool read =
+        known != acked_.end() && rng_.chance(spec_.read_fraction);
+    KvStore::OpResult r;
+    if (read) {
+      r = kv_.get(key, origin);
+      if (!r.ok || !r.value || *r.value != known->second) ++st.failed_lookups;
+    } else {
+      const std::uint64_t value = support::mix64(key ^ ++write_seq_);
+      r = kv_.put(key, value, origin);
+      if (r.ok) acked_[key] = value;
+    }
+    ++st.ops;
+    st.op_hops += r.hops;
+    st.opt_hops += r.optimal_hops;
+  }
+  return st;
+}
+
+}  // namespace dex::sim

@@ -1,0 +1,230 @@
+#pragma once
+
+/// \file workload.h
+/// The traffic layer: backend-agnostic key-value workloads served *through*
+/// a HealingOverlay while churn runs underneath. The paper's headline
+/// application (§4.4.4) is a DHT whose keys survive churn because the
+/// p-cycle heals under them; this layer generalizes that claim into a
+/// scenario axis every backend can serve, so the stretch/latency comparison
+/// against the baselines (Law–Siu, Xheal, flooding) becomes measurable.
+///
+/// Three pieces:
+///
+///  * KvStore — a generic key-value store over any HealingOverlay. Keys
+///    hash into the *alive-node space* by rendezvous (highest-random-weight)
+///    hashing, so one membership change re-homes only the affected keys —
+///    the generic analogue of dex::Dht's epoch/re-hash accounting, behind
+///    one interface. Requests route through HealingOverlay::route (DEX:
+///    locally computable p-cycle paths; baselines: BFS on the live view),
+///    and every operation reports both its realized hops and the
+///    BFS-optimal hop count, so stretch falls out per step.
+///
+///  * Workload generators — uniform, Zipf (rank-probability ∝ 1/rank^s),
+///    read/write mixes, and an adversarial hotspot that hammers the keys
+///    most recently re-homed by churn (the cache-miss storm a real system
+///    sees after a rebuild).
+///
+///  * TrafficEngine — one trial's traffic state (store + generator + an RNG
+///    independent of the adversary's), stepped by the ScenarioRunner after
+///    each applied ChurnBatch; its per-step tallies flow into StepRecord
+///    and from there through every sink.
+///
+/// This header sits between sim/overlay.h and sim/scenario.h: it needs the
+/// overlay surface and the AdversaryView, while ScenarioSpec embeds
+/// TrafficSpec — so it must not depend on scenario.h.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "graph/multigraph.h"
+#include "sim/churn.h"
+#include "sim/overlay.h"
+#include "support/prng.h"
+
+namespace dex::sim {
+
+/// The salt folded into a trial seed to derive the traffic RNG: request
+/// generation must not perturb the adversary's decision stream (a spec with
+/// traffic off and one with traffic on replay the same churn byte-for-byte).
+inline constexpr std::uint64_t kTrafficSeedSalt = 0x7f4a7c159e3779b9ULL;
+
+/// Declarative description of the request stream interleaved with churn.
+/// Everything here is byte-determining: spec + seed reproduce the exact
+/// request sequence.
+struct TrafficSpec {
+  /// Workload name ("uniform", "zipf", "hotspot"); empty = no traffic.
+  std::string workload;
+  /// Requests served after each churn step.
+  std::size_t ops_per_step = 64;
+  /// Distinct keys the generators draw from.
+  std::size_t keyspace = 4096;
+  /// Zipf exponent s (rank probability ∝ 1/rank^s); used by "zipf" and as
+  /// the hotspot generator's background distribution.
+  double zipf_s = 1.1;
+  /// Fraction of operations on already-acknowledged keys that are reads;
+  /// the rest (and every first touch of a key) are writes.
+  double read_fraction = 0.75;
+
+  [[nodiscard]] bool enabled() const { return !workload.empty(); }
+};
+
+/// The workload names TrafficEngine accepts, in canonical order.
+[[nodiscard]] const std::vector<std::string>& known_workloads();
+
+/// Comma-separated list of valid workload names (for usage messages).
+[[nodiscard]] const char* workload_names();
+
+/// One step's traffic tallies, folded into StepRecord by the runner.
+struct TrafficStepStats {
+  std::size_t ops = 0;
+  /// Reads of an acknowledged key that missed or returned a stale value —
+  /// the "lost key" signal the conformance suite pins at zero.
+  std::size_t failed_lookups = 0;
+  /// Total realized route hops (gets pay the round trip).
+  std::uint64_t op_hops = 0;
+  /// Total BFS-optimal hops for the same (origin, home) pairs.
+  std::uint64_t opt_hops = 0;
+  /// Keys re-homed by this step's churn.
+  std::size_t moved_keys = 0;
+  /// Messages charged for those key transfers.
+  std::uint64_t rehash_messages = 0;
+};
+
+/// Generic key-value store over any HealingOverlay. Placement is rendezvous
+/// hashing into the alive-node set: key k lives at the alive node u
+/// maximizing a per-(k, u) hash, so node joins/leaves re-home only the keys
+/// whose maximum changed (unlike mod-hashing, which re-homes almost
+/// everything on every membership change). sync() must be called after
+/// every churn step, with the post-churn view; it re-homes affected keys
+/// and charges their transfer messages.
+class KvStore {
+ public:
+  explicit KvStore(const HealingOverlay& overlay);
+
+  struct SyncStats {
+    std::size_t moved_keys = 0;
+    std::uint64_t messages = 0;
+  };
+
+  /// Refreshes the cached topology (one snapshot/mask copy per step,
+  /// through the runner's CachedView) and re-homes keys displaced by the
+  /// membership change. Transfer charge per moved key: the BFS distance
+  /// from its new home to its old one when the old host survived, else the
+  /// mean BFS distance from the new home (the expected recovery pull).
+  SyncStats sync(const adversary::AdversaryView& view);
+
+  struct OpResult {
+    /// Writes: stored. Reads: key present. False also when no live route
+    /// exists (never on a healing overlay maintaining connectivity).
+    bool ok = false;
+    std::uint64_t hops = 0;
+    std::uint64_t optimal_hops = 0;
+    std::optional<std::uint64_t> value;
+  };
+
+  /// Stores (key, value), overwriting a previous binding; routes from
+  /// `origin` to the key's home (one-way). A churned-out origin re-enters
+  /// through a deterministic live proxy (hash of the stale id into the
+  /// alive-node space) — requests must never route from a dead node, and
+  /// pinning every stale origin to one fixed node would manufacture a
+  /// hotspot.
+  OpResult put(std::uint64_t key, std::uint64_t value, graph::NodeId origin);
+
+  /// Looks `key` up from `origin`; pays the round trip (2x the one-way
+  /// route).
+  OpResult get(std::uint64_t key, graph::NodeId origin);
+
+  /// Removes the binding (one-way route); ok = it existed.
+  OpResult erase(std::uint64_t key, graph::NodeId origin);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Current home of `key` (its placement if stored, else where it would be
+  /// placed). Requires a prior sync().
+  [[nodiscard]] graph::NodeId home(std::uint64_t key) const;
+
+  /// Keys re-homed by the most recent sync(), ascending — the hotspot
+  /// generator's target list.
+  [[nodiscard]] const std::vector<std::uint64_t>& last_moved() const {
+    return last_moved_;
+  }
+
+  /// Keys currently homed at any of `homes`, ascending (hotspot targeting).
+  [[nodiscard]] std::vector<std::uint64_t> keys_at(
+      const std::vector<graph::NodeId>& homes) const;
+
+  /// Whether sync() has run at least once (operations require it).
+  [[nodiscard]] bool synced() const { return synced_; }
+
+  /// The topology cached by the last sync() — frozen between churn steps,
+  /// so callers needing adjacency (the hotspot generator) read it by
+  /// reference instead of copying a fresh snapshot.
+  [[nodiscard]] const graph::Multigraph& topology() const { return topo_; }
+
+  [[nodiscard]] std::size_t moved_total() const { return moved_total_; }
+  [[nodiscard]] std::uint64_t rehash_messages_total() const {
+    return rehash_messages_total_;
+  }
+
+ private:
+  struct Placement {
+    graph::NodeId home = graph::kInvalidNode;
+    std::uint64_t score = 0;
+  };
+
+  [[nodiscard]] Placement best_home(std::uint64_t key) const;
+  [[nodiscard]] graph::NodeId resolve_origin(graph::NodeId origin) const;
+  /// Routes origin -> home; fills hops/optimal_hops; returns delivery.
+  bool route_op(graph::NodeId origin, graph::NodeId home, OpResult& out) const;
+
+  const HealingOverlay& overlay_;
+  graph::Multigraph topo_;
+  std::vector<bool> mask_;
+  std::vector<graph::NodeId> alive_;
+  bool synced_ = false;
+  std::unordered_map<std::uint64_t, Placement> placed_;
+  std::unordered_map<std::uint64_t, std::uint64_t> values_;
+  std::vector<std::uint64_t> last_moved_;
+  std::size_t moved_total_ = 0;
+  std::uint64_t rehash_messages_total_ = 0;
+};
+
+/// One trial's traffic state: the store, the request generator and a traffic
+/// RNG derived from the trial seed (independent of the adversary stream).
+/// The ScenarioRunner calls observe_churn just before each batch is applied
+/// (the hotspot workload notes which region is about to churn, reading
+/// adjacency from the store's cached pre-churn topology) and step right
+/// after, against the post-churn view.
+class TrafficEngine {
+ public:
+  TrafficEngine(const HealingOverlay& overlay, TrafficSpec spec,
+                std::uint64_t trial_seed);
+
+  void observe_churn(const ChurnBatch& batch);
+
+  TrafficStepStats step(const adversary::AdversaryView& view);
+
+  [[nodiscard]] const KvStore& store() const { return kv_; }
+
+ private:
+  [[nodiscard]] std::uint64_t pick_key();
+
+  TrafficSpec spec_;
+  KvStore kv_;
+  support::Rng rng_;
+  std::vector<double> zipf_cdf_;
+  /// Acknowledged bindings: key -> last value whose write was delivered.
+  std::unordered_map<std::uint64_t, std::uint64_t> acked_;
+  std::uint64_t write_seq_ = 0;
+  /// Hotspot state: the nodes observe_churn saw churning, and the target
+  /// keys derived from them each step (displaced keys + keys homed in the
+  /// churned region).
+  std::vector<graph::NodeId> hot_nodes_;
+  std::vector<std::uint64_t> hot_keys_;
+};
+
+}  // namespace dex::sim

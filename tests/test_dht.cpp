@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <vector>
 
 #include "dex/dht.h"
 #include "dex/network.h"
@@ -143,7 +145,47 @@ TEST(Dht, OriginParameterIsRespected) {
   const auto nodes = net.alive_nodes();
   dht.put(1, 10, nodes[3]);
   EXPECT_EQ(dht.get(1, nodes[5]), 10u);
-  // Dead origin falls back to the coordinator.
+  // Dead origin falls back to a live proxy.
   net.remove(nodes[3]);
   EXPECT_EQ(dht.get(1, nodes[3]), 10u);
+}
+
+TEST(Dht, ChurnedOutOriginRoutesFromSpreadLiveProxies) {
+  // Regression: operations whose origin has been churned out must route
+  // from a live proxy, and the proxy choice must spread across the network
+  // rather than funnel every stale origin through one fixed node (the old
+  // coordinator fallback made dead-origin cost a constant, independent of
+  // the origin — the signature this test rejects).
+  DexNetwork net(64, mode(dex::RecoveryMode::WorstCase, 69));
+  Dht dht(net);
+  dex::support::Rng rng(5);
+  for (std::uint64_t k = 0; k < 32; ++k) dht.put(k, k + 7);
+
+  std::vector<dex::NodeId> dead;
+  while (dead.size() < 12) {
+    const auto nodes = net.alive_nodes();
+    const auto victim = nodes[rng.below(nodes.size())];
+    net.remove(victim);
+    dead.push_back(victim);
+  }
+
+  std::vector<std::uint64_t> costs;
+  for (const auto origin : dead) {
+    ASSERT_FALSE(net.alive(origin));
+    for (std::uint64_t k = 0; k < 32; ++k) {
+      ASSERT_EQ(dht.get(k, origin), k + 7) << "origin " << origin;
+    }
+    // All 32 keys from one stale origin share one proxy; the per-origin
+    // total is a fingerprint of where that proxy sits.
+    std::uint64_t total = 0;
+    for (std::uint64_t k = 0; k < 32; ++k) {
+      dht.put(k, k + 7, origin);
+      total += dht.last_cost().messages;
+    }
+    costs.push_back(total);
+  }
+  // At least two distinct stale origins must resolve to distinct places in
+  // the topology (a single shared proxy yields identical totals).
+  std::sort(costs.begin(), costs.end());
+  EXPECT_GT(costs.back(), costs.front());
 }

@@ -1,0 +1,270 @@
+// The traffic layer (sim/workload.h) and the routing surface: route path
+// validity on every backend, KvStore re-homing and dead-origin proxies,
+// stretch accounting (exactly 1 on a static ring, >= 1 everywhere), the
+// workload conformance contract of docs/EXPERIMENTS.md E7 — all six
+// backends serve a 10k-op Zipf workload under batch churn with zero lost
+// acknowledged keys — and byte-identical sweep output across job counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "sim/experiment.h"
+#include "sim/overlay.h"
+#include "sim/scenario.h"
+#include "sim/sinks.h"
+#include "sim/workload.h"
+
+using namespace dex;
+using graph::NodeId;
+
+namespace {
+
+/// Every consecutive pair of the path shares a real edge and every hop is
+/// alive — a path the network could actually forward along.
+void expect_valid_path(const std::vector<NodeId>& path, NodeId src, NodeId dst,
+                       const graph::Multigraph& g,
+                       const std::vector<bool>& alive) {
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), src);
+  EXPECT_EQ(path.back(), dst);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    EXPECT_TRUE(alive[path[i]]) << "dead hop " << path[i];
+    if (i > 0) {
+      EXPECT_TRUE(g.has_edge(path[i - 1], path[i]))
+          << path[i - 1] << " -> " << path[i] << " is not a real edge";
+    }
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------- routing surface
+
+TEST(RouteSurface, BaselineRouteIsTheBfsShortestPath) {
+  sim::FloodRebuildOverlay overlay(24);
+  const auto g = overlay.snapshot();
+  const auto mask = overlay.alive_mask();
+  const auto nodes = overlay.alive_nodes();
+  for (const NodeId src : {nodes[0], nodes[7], nodes[23]}) {
+    const auto dist = graph::bfs_distances(g, src, mask);
+    for (const NodeId dst : nodes) {
+      const auto path = overlay.route(src, dst, g, mask);
+      expect_valid_path(path, src, dst, g, mask);
+      EXPECT_EQ(path.size() - 1, dist[dst]) << src << " -> " << dst;
+    }
+  }
+}
+
+TEST(RouteSurface, DexRouteIsValidAndNeverBeatsBfs) {
+  sim::DexOverlay overlay(48);
+  const auto g = overlay.snapshot();
+  const auto mask = overlay.alive_mask();
+  const auto nodes = overlay.alive_nodes();
+  support::Rng rng(17);
+  for (int i = 0; i < 64; ++i) {
+    const NodeId src = nodes[rng.below(nodes.size())];
+    const NodeId dst = nodes[rng.below(nodes.size())];
+    const auto path = overlay.route(src, dst, g, mask);
+    expect_valid_path(path, src, dst, g, mask);
+    const auto dist = graph::bfs_distances(g, src, mask);
+    EXPECT_GE(path.size() - 1, dist[dst]);
+  }
+}
+
+// ----------------------------------------------------------------- KvStore
+
+TEST(KvStore, RoundTripEraseAndRehomingUnderChurn) {
+  sim::LawSiuOverlay overlay(20, /*d=*/3, /*seed=*/3);
+  sim::CachedView cache(overlay);
+  sim::KvStore kv(overlay);
+  kv.sync(cache.view());
+  const auto nodes = overlay.alive_nodes();
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_TRUE(kv.put(k, k * 3, nodes[k % nodes.size()]).ok);
+  }
+  EXPECT_EQ(kv.size(), 200u);
+
+  // Deleting a node re-homes exactly the keys it hosted; nothing is lost.
+  const NodeId victim = kv.home(0);
+  std::size_t hosted = 0;
+  for (std::uint64_t k = 0; k < 200; ++k) hosted += kv.home(k) == victim;
+  overlay.remove(victim);
+  cache.invalidate();
+  const auto moved = kv.sync(cache.view());
+  EXPECT_EQ(moved.moved_keys, hosted);
+  EXPECT_GT(moved.messages, 0u);
+  EXPECT_EQ(kv.last_moved().size(), hosted);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const auto r = kv.get(k, overlay.alive_nodes()[0]);
+    ASSERT_TRUE(r.ok) << "lost key " << k;
+    EXPECT_EQ(*r.value, k * 3);
+    EXPECT_NE(kv.home(k), victim);
+  }
+
+  // Inserting a node pulls over only the keys it now wins.
+  overlay.insert(0);
+  cache.invalidate();
+  const auto pulled = kv.sync(cache.view());
+  EXPECT_LT(pulled.moved_keys, 200u);
+  EXPECT_TRUE(kv.erase(0, overlay.alive_nodes()[1]).ok);
+  EXPECT_FALSE(kv.get(0, overlay.alive_nodes()[1]).ok);
+  EXPECT_EQ(kv.size(), 199u);
+}
+
+TEST(KvStore, ChurnedOutOriginResolvesToALiveProxy) {
+  sim::FloodRebuildOverlay overlay(16);
+  sim::CachedView cache(overlay);
+  sim::KvStore kv(overlay);
+  kv.sync(cache.view());
+  EXPECT_TRUE(kv.put(42, 7, overlay.alive_nodes()[5]).ok);
+  const NodeId dead = overlay.alive_nodes()[5];
+  overlay.remove(dead);
+  cache.invalidate();
+  kv.sync(cache.view());
+  // Requests from the churned-out origin still deliver, routed entirely
+  // over live nodes (expect_valid_path is implied: hops are finite and the
+  // value round-trips).
+  const auto r = kv.get(42, dead);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(*r.value, 7u);
+}
+
+// ----------------------------------------------------------------- stretch
+
+TEST(Stretch, ExactlyOneOnAStaticRing) {
+  // A frozen ring routed by the BFS default: every realized path *is* the
+  // optimum, so the stretch accounting must come out at exactly 1 — the
+  // calibration point for the hop/optimal bookkeeping.
+  sim::XhealOverlay overlay(graph::make_cycle(32));
+  sim::CachedView cache(overlay);
+  sim::KvStore kv(overlay);
+  kv.sync(cache.view());
+  const auto nodes = overlay.alive_nodes();
+  std::uint64_t hops = 0, optimal = 0;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const auto p = kv.put(k, k, nodes[k % nodes.size()]);
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.hops, p.optimal_hops);
+    const auto g = kv.get(k, nodes[(k * 7) % nodes.size()]);
+    ASSERT_TRUE(g.ok);
+    EXPECT_EQ(g.hops, g.optimal_hops);
+    hops += p.hops + g.hops;
+    optimal += p.optimal_hops + g.optimal_hops;
+  }
+  EXPECT_GT(hops, 0u);
+  EXPECT_EQ(hops, optimal);
+}
+
+// ------------------------------------------------- conformance (E7 gate)
+
+TEST(WorkloadConformance, AllSixBackendsServeTenKZipfOpsUnderChurnNoLoss) {
+  for (const auto& backend : sim::known_overlays()) {
+    auto overlay = sim::make_overlay(backend, 48, /*seed=*/90210);
+    ASSERT_NE(overlay, nullptr) << backend;
+    auto strategy = sim::make_strategy("churn");
+    sim::ScenarioSpec spec;
+    spec.seed = 4;
+    spec.steps = 100;
+    spec.batch_size = 4;
+    spec.record_trace = false;
+    spec.traffic.workload = "zipf";
+    spec.traffic.ops_per_step = 100;
+    sim::ScenarioRunner runner(*overlay, *strategy, spec);
+    const auto result = runner.run();
+    EXPECT_EQ(result.total_ops, 10000u) << backend;
+    EXPECT_EQ(result.total_failed_lookups, 0u)
+        << backend << " lost acknowledged keys";
+    EXPECT_GE(result.total_op_hops, result.total_opt_hops) << backend;
+    EXPECT_GT(result.total_op_hops, 0u) << backend;
+    // 100 steps of batch churn must actually displace keys.
+    EXPECT_GT(result.total_moved_keys, 0u) << backend;
+    EXPECT_GT(result.total_rehash_messages, 0u) << backend;
+  }
+}
+
+TEST(WorkloadConformance, HotspotWorkloadServesAndReplaysDeterministically) {
+  const auto run_once = [] {
+    auto overlay = sim::make_overlay("dex-worstcase", 32, 11);
+    auto strategy = sim::make_strategy("mass-failure");
+    sim::ScenarioSpec spec;
+    spec.seed = 9;
+    spec.steps = 40;
+    spec.batch_size = 6;
+    spec.traffic.workload = "hotspot";
+    spec.traffic.ops_per_step = 32;
+    sim::ScenarioRunner runner(*overlay, *strategy, spec);
+    return runner.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.total_ops, 40u * 32u);
+  EXPECT_EQ(a.total_failed_lookups, 0u);
+  EXPECT_EQ(sim::trace_csv(a), sim::trace_csv(b));
+  EXPECT_EQ(sim::summary_json(a), sim::summary_json(b));
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(WorkloadDeterminism, SweepBytesAreIdenticalAcrossJobCounts) {
+  sim::ExperimentPlan plan;
+  plan.backends = {"dex-worstcase", "flood", "xheal"};
+  plan.scenarios = {"churn"};
+  plan.populations = {32};
+  plan.batch_sizes = {3};
+  plan.seeds = {1, 2};
+  plan.base.steps = 30;
+  plan.base.traffic.workload = "zipf";
+  plan.base.traffic.ops_per_step = 40;
+
+  const auto run_sweep = [&plan](std::size_t jobs) {
+    std::ostringstream csv, json;
+    sim::CsvTraceSink csv_sink(csv);
+    sim::JsonSummarySink json_sink(json);
+    sim::ExecutorOptions opts;
+    opts.jobs = jobs;
+    sim::Executor executor(opts);
+    executor.add_sink(csv_sink);
+    executor.add_sink(json_sink);
+    executor.run(plan.expand());
+    return csv.str() + "\n---\n" + json.str();
+  };
+  const auto serial = run_sweep(1);
+  EXPECT_EQ(serial, run_sweep(8));
+  // The sweep carried traffic: the trace rows have non-zero op columns.
+  EXPECT_NE(serial.find("\"workload\": \"zipf\""), std::string::npos);
+  EXPECT_NE(serial.find("\"failed_lookups\": 0"), std::string::npos);
+}
+
+TEST(WorkloadDeterminism, TrafficDoesNotPerturbTheChurnStream) {
+  // The same spec with traffic on and off must produce the identical churn
+  // decision sequence — the traffic RNG is salted off the trial seed.
+  const auto run_once = [](bool traffic) {
+    auto overlay = sim::make_overlay("lawsiu", 24, 5);
+    auto strategy = sim::make_strategy("churn");
+    sim::ScenarioSpec spec;
+    spec.seed = 3;
+    spec.steps = 50;
+    if (traffic) {
+      spec.traffic.workload = "uniform";
+      spec.traffic.ops_per_step = 16;
+    }
+    sim::ScenarioRunner runner(*overlay, *strategy, spec);
+    return runner.run();
+  };
+  const auto with = run_once(true);
+  const auto without = run_once(false);
+  ASSERT_EQ(with.trace.size(), without.trace.size());
+  for (std::size_t i = 0; i < with.trace.size(); ++i) {
+    EXPECT_EQ(with.trace[i].insert, without.trace[i].insert);
+    EXPECT_EQ(with.trace[i].target, without.trace[i].target);
+    EXPECT_EQ(with.trace[i].n, without.trace[i].n);
+  }
+  EXPECT_GT(with.total_ops, 0u);
+  EXPECT_EQ(without.total_ops, 0u);
+}
