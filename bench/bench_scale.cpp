@@ -1,0 +1,153 @@
+// E12 — the serving hot path at scale: traffic-on sweeps at 10k–100k+
+// nodes across every backend, the population range where the paper's
+// O(log n) routing claim is actually interesting and where the pre-oracle
+// traffic layer (a fresh BFS per op, a full rendezvous rescan per moved
+// key) stopped being drivable. Two sections:
+//
+//  * a deterministic all-backends sweep whose per-trial summaries stream
+//    into BENCH_scale.json — the cross-commit perf-trajectory artifact the
+//    CI scale-smoke job uploads (deterministic: no wall-clock inside);
+//  * wall-clock hot-path timings (single trials, µs per op) for the
+//    routing-heavy backends, printed for the human reading the log.
+//
+// Usage: bench_scale [max_n] [json_path]
+//   max_n     largest population to sweep (default 100000; CI passes a
+//             reduced value to fit its wall-clock budget)
+//   json_path where the JSONL summaries go (default BENCH_scale.json)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "metrics/table.h"
+#include "sim/experiment.h"
+#include "sim/sinks.h"
+
+using namespace dex;
+using Clock = std::chrono::steady_clock;
+
+using dex::bench::hops_per_op;
+using dex::bench::stretch;
+
+namespace {
+
+sim::ScenarioSpec traffic_spec(std::size_t steps) {
+  sim::ScenarioSpec spec;
+  spec.steps = steps;
+  spec.batch_size = 8;
+  spec.record_trace = false;
+  spec.traffic.workload = "zipf";
+  spec.traffic.ops_per_step = 64;
+  spec.traffic.keyspace = 8192;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t max_n =
+      argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
+               : 100000;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_scale.json";
+  if (max_n < 2000) {
+    std::fprintf(stderr, "bench_scale: max_n must be >= 2000\n");
+    return 2;
+  }
+
+  std::printf("=== E12: the serving hot path at 10k-100k+ nodes ===\n\n");
+
+  std::vector<std::size_t> pops;
+  for (const std::size_t n : {std::size_t{2000}, std::size_t{10000},
+                              std::size_t{31623}, std::size_t{100000}}) {
+    if (n <= max_n) pops.push_back(n);
+  }
+  if (pops.back() != max_n) pops.push_back(max_n);
+
+  std::printf("-- all six backends, zipf traffic over batch churn --\n\n");
+  sim::AggregateSink agg;
+  {
+    sim::ExperimentPlan plan;
+    plan.backends = sim::known_overlays();
+    plan.scenarios = {"churn"};
+    plan.populations = pops;
+    plan.seeds = {1};
+    plan.base = traffic_spec(/*steps=*/40);
+
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    sim::JsonSummarySink json_sink(json);
+    sim::ExecutorOptions opts;
+    opts.jobs = 0;  // all cores; the output is identical regardless
+    opts.stream_steps = false;
+    opts.collect_results = false;
+    sim::Executor executor(opts);
+    executor.add_sink(agg);
+    executor.add_sink(json_sink);
+    const auto t0 = Clock::now();
+    executor.run(plan.expand());
+    const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    metrics::Table t({"backend", "n0", "ops", "hops/op", "stretch", "failed",
+                      "moved keys", "rehash msgs"});
+    for (const auto& row : agg.rows()) {
+      const auto& r = row.result;
+      t.add_row({r.backend, std::to_string(row.info.n0),
+                 std::to_string(r.total_ops),
+                 metrics::Table::num(hops_per_op(r), 2),
+                 metrics::Table::num(stretch(r), 2),
+                 std::to_string(r.total_failed_lookups +
+                                r.total_failed_writes),
+                 std::to_string(r.total_moved_keys),
+                 std::to_string(r.total_rehash_messages)});
+    }
+    t.print();
+    std::printf(
+        "\nSweep wall clock: %.1fs for %zu trials (summaries -> %s).\n"
+        "Shape check: failed ops stay 0 on every backend at every size (the\n"
+        "zero-loss contract scales); DEX stretch holds its small constant\n"
+        "while the baselines route at 1 by construction.\n",
+        wall, agg.rows().size(), json_path.c_str());
+  }
+
+  std::printf("\n-- hot-path wall clock (single trials, routing-heavy) --\n\n");
+  {
+    metrics::Table t({"backend", "n0", "steps", "ops", "wall ms", "us/op"});
+    for (const char* backend : {"dex-worstcase", "dex-amortized", "lawsiu"}) {
+      for (const std::size_t n : pops) {
+        if (n < 10000) continue;  // the small sizes say nothing about scale
+        auto overlay = sim::make_overlay(backend, n, sim::overlay_seed(1));
+        auto strategy = sim::make_strategy("churn");
+        auto spec = traffic_spec(/*steps=*/20);
+        spec.seed = 1;
+        sim::ScenarioRunner runner(*overlay, *strategy, spec);
+        const auto t0 = Clock::now();
+        const auto res = runner.run();
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        t.add_row({backend, std::to_string(n), std::to_string(res.rounds.count),
+                   std::to_string(res.total_ops), metrics::Table::num(ms, 0),
+                   metrics::Table::num(1000.0 * ms /
+                                           static_cast<double>(res.total_ops),
+                                       1)});
+      }
+    }
+    t.print();
+    std::printf(
+        "\nShape check: the full traffic-on sweep above finishes in minutes at\n"
+        "n=100k where the pre-oracle layer took hours (every op re-paid an\n"
+        "O(n + m) BFS — twice on DEX — and every moved key a full alive-set\n"
+        "rescan). us/op here still carries each step's fixed view refresh and\n"
+        "its cold (origin, home) pairs; the shared frontiers and memoized\n"
+        "contractions amortize exactly the part that used to repeat, so the\n"
+        "per-op cost drops further as ops_per_step grows.\n");
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/multigraph.h"
 #include "sim/churn.h"
 #include "support/prng.h"
@@ -49,6 +50,13 @@ struct AdversaryView {
   /// one). When absent, strategies fall back to snapshot() with the node
   /// masked out.
   std::function<graph::Multigraph(NodeId)> snapshot_without;
+  /// Optional: a flat CSR snapshot of the live view (graph/csr.h), built at
+  /// most once per step by caching views (sim::CachedView) and returned by
+  /// reference. The traffic hot path (sim::KvStore) reads it instead of
+  /// copying snapshot() + alive_mask() per step; when absent, consumers
+  /// build their own from those two. The reference is valid until the view
+  /// is invalidated.
+  std::function<const graph::CsrView&()> live_csr;
 };
 
 class Strategy {

@@ -8,6 +8,23 @@ namespace dex {
 PCycle::PCycle(std::uint64_t p) : p_(p) {
   DEX_ASSERT_MSG(support::is_prime(p), "p-cycle size must be prime");
   DEX_ASSERT_MSG(p >= 5, "p-cycle needs p >= 5");
+  DEX_ASSERT_MSG(p < (std::uint64_t{1} << 32),
+                 "inverse table stores u32 vertices");
+}
+
+void PCycle::build_inv_table() const {
+  // Linear-time inverse table: inv[1] = 1 and, for 1 < i < p,
+  // inv[i] = -(p / i) * inv[p mod i] mod p — each entry reads an already
+  // computed one because p mod i < i.
+  inv_table_.resize(p_);
+  inv_table_[0] = 0;  // the self-loop convention of Definition 1
+  if (p_ > 1) inv_table_[1] = 1;
+  for (std::uint64_t i = 2; i < p_; ++i) {
+    const std::uint64_t q = p_ / i;
+    const std::uint64_t r = p_ % i;
+    inv_table_[i] =
+        static_cast<std::uint32_t>(p_ - (q * inv_table_[r]) % p_);
+  }
 }
 
 std::uint32_t PCycle::distance(Vertex x, Vertex y) const {
@@ -65,22 +82,39 @@ std::uint32_t PCycle::distance(Vertex x, Vertex y) const {
 
 std::vector<Vertex> PCycle::shortest_path(Vertex x, Vertex y) const {
   if (x == y) return {x};
-  // Forward BFS from x with parent pointers until y found, but bounded by
-  // the bidirectional distance so the search stays shallow.
-  const std::uint32_t d = distance(x, y);
-  std::unordered_map<Vertex, Vertex> parent{{x, x}};
-  std::vector<Vertex> frontier{x};
-  for (std::uint32_t depth = 0; depth < d; ++depth) {
-    std::vector<Vertex> next;
-    for (Vertex v : frontier) {
-      for (Vertex w : ports(v)) {
-        if (parent.contains(w)) continue;
-        parent.emplace(w, v);
+  // Forward BFS from x until y is discovered. Same discovery discipline as
+  // ever (frontier in order, ports {succ, pred, inv}, first discoverer is
+  // the parent) — only the bookkeeping changed, from per-call hash maps to
+  // flat epoch-stamped arrays: ~an order of magnitude less work per op on
+  // the traffic hot path, where this runs for every distinct (origin, home)
+  // pair of a step.
+  if (seen_epoch_.size() != p_) {
+    seen_epoch_.assign(p_, 0);
+    seen_parent_.assign(p_, 0);
+    epoch_ = 0;
+  }
+  if (++epoch_ == 0) {  // stamp wrap: one real clear every 2^32 calls
+    seen_epoch_.assign(p_, 0);
+    epoch_ = 1;
+  }
+  auto& frontier = frontier_scratch_[0];
+  auto& next = frontier_scratch_[1];
+  frontier.clear();
+  frontier.push_back(x);
+  seen_epoch_[x] = epoch_;
+  seen_parent_[x] = x;
+  while (!frontier.empty()) {
+    next.clear();
+    for (const Vertex v : frontier) {
+      for (const Vertex w : ports(v)) {
+        if (seen_epoch_[w] == epoch_) continue;
+        seen_epoch_[w] = epoch_;
+        seen_parent_[w] = v;
         if (w == y) {
           std::vector<Vertex> path{y};
           Vertex cur = y;
           while (cur != x) {
-            cur = parent.at(cur);
+            cur = seen_parent_[cur];
             path.push_back(cur);
           }
           std::reverse(path.begin(), path.end());
@@ -91,7 +125,7 @@ std::vector<Vertex> PCycle::shortest_path(Vertex x, Vertex y) const {
     }
     frontier.swap(next);
   }
-  DEX_ASSERT_MSG(false, "shortest_path: target not found within distance");
+  DEX_ASSERT_MSG(false, "shortest_path: target unreachable on the p-cycle");
   return {};
 }
 

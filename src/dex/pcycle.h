@@ -41,11 +41,14 @@ class PCycle {
 
   /// The chord port: x^{-1} mod p for x > 0; 0 maps to itself (the explicit
   /// self-loop of Definition 1). Note inv(1) = 1 and inv(p−1) = p−1.
+  /// Served from a lazily built O(p) table (the classic linear-time inverse
+  /// recurrence): ports() sits under every walk step and every routing BFS,
+  /// and paying an extended-Euclid per expansion made modinv two thirds of
+  /// the traffic hot path.
   [[nodiscard]] Vertex inv(Vertex x) const {
     if (x == 0) return 0;
-    auto r = support::modinv(x, p_);
-    DEX_ASSERT(r.has_value());
-    return *r;
+    if (inv_table_.empty()) build_inv_table();
+    return inv_table_[x];
   }
 
   /// The three ports of x in a fixed order {succ, pred, inv}.
@@ -59,7 +62,11 @@ class PCycle {
   /// Distance from x to y (bidirectional BFS; O(sqrt p)-ish work).
   [[nodiscard]] std::uint32_t distance(Vertex x, Vertex y) const;
 
-  /// A shortest path from x to y, inclusive of both endpoints.
+  /// A shortest path from x to y, inclusive of both endpoints. Forward BFS
+  /// from x over flat epoch-stamped scratch arrays (reused across calls, so
+  /// the traffic hot path runs allocation- and hash-free); the discovery
+  /// order — frontier in order, ports {succ, pred, inv} — is the tie-break
+  /// contract routing depends on, so the returned path never drifts.
   [[nodiscard]] std::vector<Vertex> shortest_path(Vertex x, Vertex y) const;
 
   /// Distance to vertex 0 using the cached BFS tree (O(1) after the first
@@ -84,11 +91,22 @@ class PCycle {
 
  private:
   void ensure_zero_tree() const;
+  void build_inv_table() const;
 
   std::uint64_t p_;
+  /// x -> x^{-1} mod p, built on first chord access. u32 entries: p is the
+  /// smallest prime in (4 n0, 8 n0), far below 2^32 at any simulable size
+  /// (asserted at construction), so the table costs 4 bytes per vertex.
+  mutable std::vector<std::uint32_t> inv_table_;
   // Lazily built BFS tree rooted at 0: parent pointer per vertex.
   mutable std::vector<std::uint32_t> zero_dist_;
   mutable std::vector<Vertex> zero_parent_;
+  // shortest_path scratch: epoch stamps mark "seen this call" without an
+  // O(p) clear per call; parents are valid where stamp matches epoch.
+  mutable std::vector<std::uint32_t> seen_epoch_;
+  mutable std::vector<Vertex> seen_parent_;
+  mutable std::vector<Vertex> frontier_scratch_[2];
+  mutable std::uint32_t epoch_ = 0;
 };
 
 }  // namespace dex

@@ -1,0 +1,86 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+
+namespace dex::graph {
+
+void CsrView::build(const Multigraph& g, const std::vector<bool>& alive) {
+  const std::size_t n = g.node_count();
+  const auto is_alive = [&alive](NodeId u) {
+    return alive.empty() || alive[u];
+  };
+  alive_.assign(n, 0);
+  alive_count_ = 0;
+  offsets_.resize(n + 1);
+  std::size_t total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u] = static_cast<std::uint32_t>(total);
+    if (!is_alive(u)) continue;
+    alive_[u] = 1;
+    ++alive_count_;
+    total += g.degree(u);  // upper bound; dead neighbors trimmed below
+  }
+  offsets_[n] = static_cast<std::uint32_t>(total);
+  edges_.resize(total);
+  std::size_t at = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u] = static_cast<std::uint32_t>(at);
+    if (alive_[u]) {
+      for (const NodeId v : g.ports(u)) {
+        if (is_alive(v)) edges_[at++] = v;
+      }
+    }
+  }
+  offsets_[n] = static_cast<std::uint32_t>(at);
+  edges_.resize(at);
+}
+
+void csr_bfs_fill(const CsrView& g, NodeId src, std::vector<std::uint32_t>& dist,
+                  std::vector<NodeId>& scratch) {
+  dist.assign(g.node_count(), kUnreached);
+  if (!g.alive(src)) return;
+  scratch.clear();
+  scratch.push_back(src);
+  dist[src] = 0;
+  // Flat frontier queue: `head` walks the current level while new
+  // discoveries append — level boundaries are implicit in the distances.
+  std::size_t head = 0;
+  while (head < scratch.size()) {
+    const NodeId u = scratch[head++];
+    const std::uint32_t d = dist[u] + 1;
+    for (const NodeId v : g.neighbors(u)) {
+      if (dist[v] != kUnreached) continue;
+      dist[v] = d;
+      scratch.push_back(v);
+    }
+  }
+}
+
+std::vector<NodeId> csr_shortest_path(const CsrView& g, NodeId src,
+                                      NodeId dst) {
+  if (src == dst) return {src};
+  if (!g.alive(src) || !g.alive(dst)) return {};
+  // Parent pointers in discovery order; identical tie-breaks to the
+  // Multigraph BFS (ports scanned in source order).
+  std::vector<NodeId> parent(g.node_count(), kInvalidNode);
+  std::vector<NodeId> queue{src};
+  parent[src] = src;
+  std::size_t head = 0;
+  while (head < queue.size() && parent[dst] == kInvalidNode) {
+    const NodeId u = queue[head++];
+    for (const NodeId v : g.neighbors(u)) {
+      if (parent[v] != kInvalidNode) continue;
+      parent[v] = u;
+      queue.push_back(v);
+    }
+  }
+  if (parent[dst] == kInvalidNode) return {};
+  std::vector<NodeId> path{dst};
+  for (NodeId u = dst; u != src; u = parent[u]) path.push_back(parent[u]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace dex::graph

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file csr.h
+/// CsrView — a flat compressed-sparse-row snapshot of the *live* part of a
+/// Multigraph. The traffic hot path (sim/workload.h, sim/oracle.h) walks
+/// adjacency thousands of times per churn step; doing that over the
+/// vector-of-vectors Multigraph plus a vector<bool> aliveness check per port
+/// is cache-hostile and re-pays the dead-node filter on every hop. A
+/// CsrView bakes the filter in at build time: dead nodes get an empty row,
+/// edges to dead endpoints are dropped, and what remains is two flat arrays
+/// a BFS can stream through.
+///
+/// Build cost is one O(n + m) pass per churn step (the same as a single
+/// BFS), after which every traversal of the step runs allocation-free on
+/// contiguous memory. Port order is preserved exactly, so a BFS over the
+/// CsrView discovers nodes in the same order as the equivalent
+/// Multigraph-plus-mask BFS — paths and parent choices are byte-identical,
+/// which is what lets the route/placement oracle replace the per-op walks
+/// without changing any emitted number.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/multigraph.h"
+
+namespace dex::graph {
+
+class CsrView {
+ public:
+  /// Rebuilds from `g` restricted to `alive` (empty mask = everything
+  /// alive). Buffers are reused across calls — building once per step in a
+  /// long scenario settles into zero allocations.
+  void build(const Multigraph& g, const std::vector<bool>& alive);
+
+  /// Id capacity (same id space as the source Multigraph).
+  [[nodiscard]] std::size_t node_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  [[nodiscard]] bool alive(NodeId u) const {
+    return u < alive_.size() && alive_[u] != 0;
+  }
+
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+
+  /// Live neighbors of u, in the source graph's port order (duplicates kept
+  /// — multi-edges stay multi). Empty for dead or out-of-range ids.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    if (u >= node_count()) return {};
+    return {edges_.data() + offsets_[u],
+            static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  /// Whether build() has run at least once.
+  [[nodiscard]] bool built() const { return !offsets_.empty(); }
+
+ private:
+  std::vector<std::uint32_t> offsets_;  ///< node_count()+1 row starts
+  std::vector<NodeId> edges_;           ///< concatenated live adjacency
+  std::vector<std::uint8_t> alive_;     ///< byte mask (faster than bool bits)
+  std::size_t alive_count_ = 0;
+};
+
+/// BFS distances from `src` over the live view, written into `dist`
+/// (resized to node_count(), kUnreached for unreachable or dead nodes).
+/// `scratch` is the frontier queue, reused across calls. Discovery order
+/// matches graph::bfs_distances on the source Multigraph exactly.
+void csr_bfs_fill(const CsrView& g, NodeId src, std::vector<std::uint32_t>& dist,
+                  std::vector<NodeId>& scratch);
+
+/// BFS shortest path src -> dst inclusive of both endpoints ({src} when
+/// src == dst, empty when unreachable or either endpoint is dead). Parent
+/// choices follow port order, matching the Multigraph BFS route default.
+[[nodiscard]] std::vector<NodeId> csr_shortest_path(const CsrView& g,
+                                                    NodeId src, NodeId dst);
+
+}  // namespace dex::graph

@@ -1,39 +1,22 @@
 #include "sim/overlay.h"
 
-#include <deque>
-
 #include "dex/batch.h"
 #include "graph/generators.h"
 
 namespace dex::sim {
 
-std::vector<NodeId> HealingOverlay::route(
-    NodeId src, NodeId dst, const graph::Multigraph& g,
-    const std::vector<bool>& alive) const {
-  if (src == dst) return {src};
-  if (src >= g.node_count() || dst >= g.node_count()) return {};
-  // BFS shortest path restricted to alive nodes, parents reconstructed.
-  std::vector<NodeId> parent(g.node_count(), graph::kInvalidNode);
-  std::deque<NodeId> frontier{src};
-  parent[src] = src;
-  while (!frontier.empty() && parent[dst] == graph::kInvalidNode) {
-    const NodeId u = frontier.front();
-    frontier.pop_front();
-    for (NodeId v : g.ports(u)) {
-      if (parent[v] != graph::kInvalidNode || (v < alive.size() && !alive[v]))
-        continue;
-      parent[v] = u;
-      frontier.push_back(v);
-    }
-  }
-  if (parent[dst] == graph::kInvalidNode) return {};
-  std::vector<NodeId> path{dst};
-  for (NodeId u = dst; u != src; u = parent[u]) path.push_back(parent[u]);
-  std::reverse(path.begin(), path.end());
-  return path;
+std::vector<NodeId> HealingOverlay::route(NodeId src, NodeId dst,
+                                          const graph::CsrView& live) const {
+  // BFS shortest path on the flat live view; parent tie-breaks follow port
+  // order, so the path is the one the Multigraph-walking default always
+  // returned.
+  return graph::csr_shortest_path(live, src, dst);
 }
 
 BatchOutcome DexOverlay::apply(const ChurnBatch& batch) {
+  // The parallel path below mutates net_ without going through insert()/
+  // remove(); invalidate the route memo up front either way.
+  ++topo_gen_;
   if (parallel_batches_ && batch.size() > 1) {
     dex::BatchRequest req{batch.attach_to, batch.victims};
     if (dex::batch_feasible(net_, req)) {
@@ -66,28 +49,42 @@ BatchOutcome DexOverlay::apply(const ChurnBatch& batch) {
 }
 
 std::vector<NodeId> DexOverlay::route(NodeId src, NodeId dst,
-                                      const graph::Multigraph& g,
-                                      const std::vector<bool>& alive) const {
+                                      const graph::CsrView& live) const {
   if (src == dst) return {src};
+  // The p-cycle contraction below is a pure function of the mapping, which
+  // only churn mutates — so one step's repeated (src, dst) pairs (Zipf
+  // traffic hammering a hot home) are answered from the memo. insert()/
+  // remove()/apply() bump topo_gen_, which lazily flushes the cache here.
+  if (route_memo_gen_ != topo_gen_) {
+    route_memo_.clear();
+    route_memo_gen_ = topo_gen_;
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(dst);
+  if (const auto it = route_memo_.find(key); it != route_memo_.end()) {
+    return it->second;
+  }
+  std::vector<NodeId> path;
   const auto& ss = net_.mapping().sim(src);
   const auto& ds = net_.mapping().sim(dst);
   if (ss.empty() || ds.empty()) {
     // Mid-build newcomers own no current-cycle vertex yet; they reach the
     // network through their attachment edges, which only the real topology
     // knows about.
-    return HealingOverlay::route(src, dst, g, alive);
+    path = HealingOverlay::route(src, dst, live);
+  } else {
+    const auto vpath = net_.cycle().shortest_path(ss[0], ds[0]);
+    path.reserve(vpath.size());
+    for (const Vertex z : vpath) {
+      // Each virtual edge is materialized between the owners of its
+      // endpoints, so contracting the vertex path yields a valid hop path;
+      // consecutive same-owner vertices collapse into zero-cost local steps.
+      const NodeId u = net_.mapping().owner(z);
+      if (path.empty() || path.back() != u) path.push_back(u);
+    }
+    DEX_ASSERT(path.front() == src && path.back() == dst);
   }
-  const auto vpath = net_.cycle().shortest_path(ss[0], ds[0]);
-  std::vector<NodeId> path;
-  path.reserve(vpath.size());
-  for (const Vertex z : vpath) {
-    // Each virtual edge is materialized between the owners of its
-    // endpoints, so contracting the vertex path yields a valid hop path;
-    // consecutive same-owner vertices collapse into zero-cost local steps.
-    const NodeId u = net_.mapping().owner(z);
-    if (path.empty() || path.back() != u) path.push_back(u);
-  }
-  DEX_ASSERT(path.front() == src && path.back() == dst);
+  route_memo_.emplace(key, path);
   return path;
 }
 

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "adversary/adversary.h"
@@ -118,16 +119,17 @@ class HealingOverlay {
   // ----- the routing surface (traffic layer, §4.4.4 generalized) -----
 
   /// Hop path from `src` to `dst` over the live real topology, inclusive of
-  /// both endpoints ({src} when src == dst; empty when unreachable). `g` and
-  /// `alive` are the caller's step-cached live view (sim::KvStore refreshes
-  /// them once per churn step through CachedView): the baselines maintain no
-  /// routing state, so their canonical request path is a BFS shortest path
-  /// on what they see — that is this default. DexOverlay overrides it with
-  /// the locally computable p-cycle route of §4.4.4 (no global view needed,
-  /// at the price of stretch > 1 against the BFS optimum).
+  /// both endpoints ({src} when src == dst; empty when unreachable). `live`
+  /// is the caller's step-cached flat CSR of the live view (sim::KvStore
+  /// refreshes it once per churn step through CachedView) and must reflect
+  /// the overlay's *current* topology: the baselines maintain no routing
+  /// state, so their canonical request path is a BFS shortest path on what
+  /// they see — that is this default. DexOverlay overrides it with the
+  /// locally computable p-cycle route of §4.4.4 (no global view needed, at
+  /// the price of stretch > 1 against the BFS optimum), memoized per
+  /// (src, dst) until the next churn event.
   [[nodiscard]] virtual std::vector<NodeId> route(
-      NodeId src, NodeId dst, const graph::Multigraph& g,
-      const std::vector<bool>& alive) const;
+      NodeId src, NodeId dst, const graph::CsrView& live) const;
 
   /// Whether route() returns a shortest path on the given view. True for
   /// the BFS default; overlays routing on their own structure (DEX) return
@@ -177,6 +179,7 @@ class HealingOverlay {
       [&overlay](NodeId u) { return overlay.load(u); },
       [&overlay] { return overlay.special_node(); },
       {},
+      {},  // live_csr: only caching views (CachedView) provide one
   };
   if (overlay.has_removal_oracle()) {
     v.snapshot_without = [&overlay](NodeId u) {
@@ -277,17 +280,24 @@ class DexOverlay final : public OverlayAdapter<DexNetwork> {
   /// of src and one of dst, contracted through the virtual mapping — every
   /// hop is a materialized real edge, and both endpoints compute it from
   /// O(log n) local state (the cached view is ignored). Mid-build newcomers
-  /// without an owned vertex fall back to the BFS default.
+  /// without an owned vertex fall back to the BFS default. Contractions are
+  /// memoized per (src, dst) between churn events, so a step's repeated
+  /// origin–home pairs pay the p-cycle BFS once.
   [[nodiscard]] std::vector<NodeId> route(
-      NodeId src, NodeId dst, const graph::Multigraph& g,
-      const std::vector<bool>& alive) const override;
+      NodeId src, NodeId dst, const graph::CsrView& live) const override;
 
   /// P-cycle routes trade optimality for local computability (that is the
   /// measured stretch).
   [[nodiscard]] bool route_is_shortest() const override { return false; }
 
-  NodeId insert(NodeId attach_to) override { return net_.insert(attach_to); }
-  void remove(NodeId victim) override { net_.remove(victim); }
+  NodeId insert(NodeId attach_to) override {
+    ++topo_gen_;
+    return net_.insert(attach_to);
+  }
+  void remove(NodeId victim) override {
+    ++topo_gen_;
+    net_.remove(victim);
+  }
   [[nodiscard]] std::size_t load(NodeId u) const override {
     return static_cast<std::size_t>(net_.total_load(u));
   }
@@ -299,6 +309,11 @@ class DexOverlay final : public OverlayAdapter<DexNetwork> {
  private:
   const char* name_;
   bool parallel_batches_ = true;
+  /// Bumped on every mutation; route() flushes its memo when it observes a
+  /// new generation (lazy, so pure-churn runs never touch the map).
+  std::uint64_t topo_gen_ = 0;
+  mutable std::uint64_t route_memo_gen_ = 0;
+  mutable std::unordered_map<std::uint64_t, std::vector<NodeId>> route_memo_;
 };
 
 class FloodRebuildOverlay final

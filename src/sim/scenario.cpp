@@ -28,12 +28,24 @@ CachedView::CachedView(const HealingOverlay& overlay)
     if (!mask_) mask_ = overlay_.alive_mask();
     return *mask_;
   };
+  view_.live_csr = [this]() -> const graph::CsrView& {
+    if (!csr_valid_) {
+      // Built from the memoized snapshot + mask, so the Multigraph itself
+      // still materializes at most once per step whoever asks first.
+      if (!snapshot_) snapshot_ = overlay_.snapshot();
+      if (!mask_) mask_ = overlay_.alive_mask();
+      csr_.build(*snapshot_, *mask_);
+      csr_valid_ = true;
+    }
+    return csr_;
+  };
 }
 
 void CachedView::invalidate() {
   nodes_.reset();
   snapshot_.reset();
   mask_.reset();
+  csr_valid_ = false;
 }
 
 // --------------------------------------------------------- ScenarioRunner
@@ -199,12 +211,14 @@ ScenarioResult ScenarioRunner::run() {
       rec.op_hops = ts.op_hops;
       rec.opt_hops = ts.opt_hops;
       rec.failed_lookups = ts.failed_lookups;
+      rec.failed_writes = ts.failed_writes;
       rec.moved_keys = ts.moved_keys;
       rec.rehash_messages = ts.rehash_messages;
       result.total_ops += ts.ops;
       result.total_op_hops += ts.op_hops;
       result.total_opt_hops += ts.opt_hops;
       result.total_failed_lookups += ts.failed_lookups;
+      result.total_failed_writes += ts.failed_writes;
       result.total_moved_keys += ts.moved_keys;
       result.total_rehash_messages += ts.rehash_messages;
     }
@@ -323,6 +337,7 @@ const std::vector<std::string>& trace_csv_header() {
       "op_hops",
       "opt_hops",
       "failed_lookups",
+      "failed_writes",
       "stretch",
       "moved_keys",
       "rehash_messages",
@@ -352,6 +367,7 @@ std::vector<std::string> trace_csv_cells(const StepRecord& r) {
           std::to_string(r.op_hops),
           std::to_string(r.opt_hops),
           std::to_string(r.failed_lookups),
+          std::to_string(r.failed_writes),
           r.opt_hops == 0 ? std::string()
                           : metrics::format_double(
                                 static_cast<double>(r.op_hops) /
@@ -426,14 +442,17 @@ std::string summary_json(const ScenarioResult& result) {
     if (t.workload != "uniform") o.add("zipf_s", t.zipf_s);
     o.add("total_ops", static_cast<std::uint64_t>(result.total_ops))
         .add("total_op_hops", result.total_op_hops)
-        .add("total_opt_hops", result.total_opt_hops)
-        .add("mean_stretch",
-             result.total_opt_hops == 0
-                 ? 1.0
-                 : static_cast<double>(result.total_op_hops) /
-                       static_cast<double>(result.total_opt_hops))
-        .add("failed_lookups",
-             static_cast<std::uint64_t>(result.total_failed_lookups))
+        .add("total_opt_hops", result.total_opt_hops);
+    // Same guard as the per-row CSV stretch cell: no routed op, no ratio —
+    // the field is omitted rather than defaulted to a fictitious 1.0.
+    if (result.total_opt_hops != 0) {
+      o.add("mean_stretch", static_cast<double>(result.total_op_hops) /
+                                static_cast<double>(result.total_opt_hops));
+    }
+    o.add("failed_lookups",
+          static_cast<std::uint64_t>(result.total_failed_lookups))
+        .add("failed_writes",
+             static_cast<std::uint64_t>(result.total_failed_writes))
         .add("moved_keys", static_cast<std::uint64_t>(result.total_moved_keys))
         .add("rehash_messages", result.total_rehash_messages);
   }

@@ -121,6 +121,8 @@ struct StepRecord {
   std::uint64_t opt_hops = 0;
   /// Reads of an acknowledged key that missed or returned a stale value.
   std::size_t failed_lookups = 0;
+  /// Writes whose request could not be delivered (no ack, nothing stored).
+  std::size_t failed_writes = 0;
   /// Keys re-homed by this step's churn, and the transfer messages charged.
   std::size_t moved_keys = 0;
   std::uint64_t rehash_messages = 0;
@@ -152,14 +154,18 @@ struct ScenarioResult {
   std::uint64_t total_op_hops = 0;
   std::uint64_t total_opt_hops = 0;
   std::size_t total_failed_lookups = 0;
+  std::size_t total_failed_writes = 0;
   std::size_t total_moved_keys = 0;
   std::uint64_t total_rehash_messages = 0;
 };
 
 /// AdversaryView over an overlay whose expensive components (alive_nodes,
 /// snapshot, alive_mask) are materialized at most once per step, however
-/// many times the strategy consults them. Call invalidate() after every
-/// mutation of the overlay.
+/// many times the strategy consults them. Also the home of the per-step
+/// flat CSR snapshot (graph/csr.h): the view's live_csr component builds it
+/// lazily from the cached snapshot + mask — once per step — and the traffic
+/// layer's route/placement oracle reads it by reference. Call invalidate()
+/// after every mutation of the overlay.
 class CachedView {
  public:
   explicit CachedView(const HealingOverlay& overlay);
@@ -178,6 +184,10 @@ class CachedView {
   mutable std::optional<std::vector<graph::NodeId>> nodes_;
   mutable std::optional<graph::Multigraph> snapshot_;
   mutable std::optional<std::vector<bool>> mask_;
+  // The CSR keeps its buffers across invalidations (build() reuses them);
+  // the flag alone tracks staleness.
+  mutable graph::CsrView csr_;
+  mutable bool csr_valid_ = false;
 };
 
 class ScenarioRunner {
@@ -231,9 +241,11 @@ struct StrategyOptions {
 
 /// The canonical trace columns: step,op,target,new_node,n,rounds,messages,
 /// topology_changes,batch_inserts,batch_deletes,walk_epochs,used_type2,
-/// max_degree,gap,ops,op_hops,opt_hops,failed_lookups,stretch,moved_keys,
-/// rehash_messages (stretch = op_hops/opt_hops, blank when no routed op;
-/// the traffic columns are 0/blank when the spec carries no workload).
+/// max_degree,gap,ops,op_hops,opt_hops,failed_lookups,failed_writes,
+/// stretch,moved_keys,rehash_messages (stretch = op_hops/opt_hops, blank
+/// when no routed op — matching the summary JSON, which omits mean_stretch
+/// in that case; the traffic columns are 0/blank when the spec carries no
+/// workload).
 /// Shared by trace_csv below and the streaming CsvTraceSink (sim/sinks.h)
 /// so the two emission paths can never drift.
 [[nodiscard]] const std::vector<std::string>& trace_csv_header();

@@ -14,10 +14,18 @@ using graph::NodeId;
 namespace {
 
 /// Rendezvous (HRW) weight of `node` for a pre-mixed key hash. 64-bit mixes
-/// make ties essentially impossible; best_home still breaks them by id so
-/// placement is a pure function of (key, alive set).
+/// make ties essentially impossible; candidate ordering still breaks them
+/// by id so placement is a pure function of (key, alive set).
 std::uint64_t hrw_score(std::uint64_t key_hash, NodeId node) {
   return support::mix64(key_hash ^ (0x9e3779b97f4a7c15ULL * (node + 1)));
+}
+
+/// Strict-weak order on candidates: higher score first, lower id on the
+/// (essentially impossible) score tie — the argmax rule best_home always
+/// used, applied to the whole list.
+bool candidate_better(NodeId node, std::uint64_t score, NodeId than_node,
+                      std::uint64_t than_score) {
+  return score > than_score || (score == than_score && node < than_node);
 }
 
 }  // namespace
@@ -26,58 +34,103 @@ std::uint64_t hrw_score(std::uint64_t key_hash, NodeId node) {
 
 KvStore::KvStore(const HealingOverlay& overlay) : overlay_(overlay) {}
 
-KvStore::Placement KvStore::best_home(std::uint64_t key) const {
+void KvStore::merge_candidate(Placement& pl, Candidate c) {
+  if (pl.top.size() == kHomeCandidates &&
+      !candidate_better(c.node, c.score, pl.top.back().node,
+                        pl.top.back().score)) {
+    // Skipped: c joins the non-members, so it raises the floor.
+    pl.floor = std::max(pl.floor, c.score);
+    return;
+  }
+  // Insert in (score desc, id asc) order; expected O(1) amortized — a
+  // random stream rarely beats the current K-th best.
+  auto it = pl.top.begin();
+  while (it != pl.top.end() &&
+         candidate_better(it->node, it->score, c.node, c.score)) {
+    ++it;
+  }
+  pl.top.insert(it, c);
+  if (pl.top.size() > kHomeCandidates) {
+    // The truncated minimum becomes a non-member too.
+    pl.floor = std::max(pl.floor, pl.top.back().score);
+    pl.top.pop_back();
+  }
+}
+
+KvStore::Placement KvStore::scan_candidates(std::uint64_t key) const {
   DEX_ASSERT_MSG(!alive_.empty(), "KvStore over an empty overlay");
   const std::uint64_t kh = support::mix64(key);
-  Placement best;
+  Placement pl;
+  pl.top.reserve(kHomeCandidates);
   for (const NodeId u : alive_) {
-    const std::uint64_t s = hrw_score(kh, u);
-    if (best.home == kInvalidNode || s > best.score ||
-        (s == best.score && u < best.home)) {
-      best = {u, s};
-    }
+    merge_candidate(pl, Candidate{u, hrw_score(kh, u)});
   }
-  return best;
+  return pl;
 }
 
 NodeId KvStore::resolve_origin(NodeId origin) const {
-  if (origin != kInvalidNode && origin < mask_.size() && mask_[origin]) {
-    return origin;
-  }
+  if (origin != kInvalidNode && csr_.alive(origin)) return origin;
   return alive_[support::mix64(origin) % alive_.size()];
 }
 
-bool KvStore::route_op(NodeId origin, NodeId home, OpResult& out) const {
-  const auto path = overlay_.route(origin, home, topo_, mask_);
-  if (path.empty()) return false;
-  out.hops = static_cast<std::uint64_t>(path.size() - 1);
+bool KvStore::route_op(NodeId origin, NodeId home, OpResult& out) {
   if (overlay_.route_is_shortest()) {
-    // The realized path is the BFS optimum already; a second full-graph
-    // BFS per request would only recompute path.size() - 1.
-    out.optimal_hops = out.hops;
+    // The realized path is the BFS optimum already, so the op needs only a
+    // distance — answered from the step's shared BFS frontiers instead of
+    // materializing a fresh path per request.
+    const std::uint32_t d = oracle_.distance(origin, home);
+    if (d == graph::kUnreached) return false;
+    out.hops = d;
+    out.optimal_hops = d;
     return true;
   }
-  const auto dist = graph::bfs_distances(topo_, origin, mask_);
-  out.optimal_hops = home < dist.size() && dist[home] != graph::kUnreached
-                         ? dist[home]
-                         : out.hops;
+  const auto path = overlay_.route(origin, home, csr_);
+  if (path.empty()) return false;
+  out.hops = static_cast<std::uint64_t>(path.size() - 1);
+  const std::uint32_t d = oracle_.distance(origin, home);
+  out.optimal_hops = d != graph::kUnreached ? d : out.hops;
   return true;
 }
 
 KvStore::SyncStats KvStore::sync(const adversary::AdversaryView& view) {
-  auto fresh = view.alive_nodes();
-  std::sort(fresh.begin(), fresh.end());
-  topo_ = view.snapshot();
-  mask_ = view.alive_mask();
-  std::vector<NodeId> added;
-  std::set_difference(fresh.begin(), fresh.end(), alive_.begin(), alive_.end(),
-                      std::back_inserter(added));
+  // One flat CSR per step: borrowed (copy-assigned, flat memcpys) from the
+  // caching view when available, rebuilt from a snapshot otherwise.
+  if (view.live_csr) {
+    csr_ = view.live_csr();
+  } else {
+    const auto g = view.snapshot();
+    csr_.build(g, view.alive_mask());
+  }
+  oracle_.attach(csr_);
+
+  // Membership delta + fresh sorted alive set in one ascending bitmap walk
+  // against the previous (sorted) alive list — no per-step sort.
+  added_scratch_.clear();
+  alive_scratch_.clear();
+  alive_scratch_.reserve(csr_.alive_count());
+  {
+    std::size_t i = 0;
+    for (NodeId u = 0; u < csr_.node_count(); ++u) {
+      if (!csr_.alive(u)) continue;
+      alive_scratch_.push_back(u);
+      while (i < alive_.size() && alive_[i] < u) ++i;
+      if (i < alive_.size() && alive_[i] == u) {
+        ++i;
+      } else {
+        added_scratch_.push_back(u);
+      }
+    }
+  }
+  const std::size_t surviving = alive_scratch_.size() - added_scratch_.size();
+  const bool any_removed = surviving != alive_.size();
   const bool first = !synced_;
-  alive_ = std::move(fresh);
+  alive_.swap(alive_scratch_);
   synced_ = true;
   last_moved_.clear();
   SyncStats out;
   if (first || placed_.empty()) return out;
+  const auto& added = added_scratch_;
+  if (added.empty() && !any_removed) return out;  // membership unchanged
 
   struct Move {
     std::uint64_t key;
@@ -86,47 +139,45 @@ KvStore::SyncStats KvStore::sync(const adversary::AdversaryView& view) {
   };
   std::vector<Move> moves;
   for (auto& [key, pl] : placed_) {
-    const bool home_dead = pl.home >= mask_.size() || !mask_[pl.home];
-    Placement np = pl;
-    if (home_dead) {
-      np = best_home(key);
-    } else if (!added.empty()) {
-      // The incumbent's weight is unchanged; only a newcomer can beat it.
+    const NodeId old_home = pl.home();
+    if (!added.empty()) {
+      // Incumbent weights are unchanged; joiners merge into the candidate
+      // list (and take the lead when they out-score it).
       const std::uint64_t kh = support::mix64(key);
       for (const NodeId a : added) {
-        const std::uint64_t s = hrw_score(kh, a);
-        if (s > np.score || (s == np.score && a < np.home)) np = {a, s};
+        merge_candidate(pl, Candidate{a, hrw_score(kh, a)});
       }
     }
-    if (np.home != pl.home) {
-      moves.push_back({key, pl.home, np.home});
-      pl = np;
+    // Promote the best surviving candidate. Exact as long as it clears the
+    // floor — otherwise a node pushed out of the list earlier could be the
+    // true winner, and only a rescan of the alive set can tell.
+    while (!pl.top.empty() && !csr_.alive(pl.top.front().node)) {
+      pl.top.erase(pl.top.begin());
     }
+    if (pl.top.empty() || pl.top.front().score < pl.floor) {
+      pl = scan_candidates(key);
+    }
+    if (pl.home() != old_home) moves.push_back({key, old_home, pl.home()});
   }
   if (moves.empty()) return out;
 
   // One BFS per distinct destination prices every transfer to it: the exact
   // old->new distance when the old host survived (a handover), else the mean
   // distance from the new home (the expected pull from wherever the healed
-  // overlay recovered the item).
+  // overlay recovered the item). The oracle memoizes these frontiers, so
+  // the step's ops aimed at the same homes reuse them for free.
   std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
     return a.to != b.to ? a.to < b.to : a.key < b.key;
   });
   for (std::size_t i = 0; i < moves.size();) {
     const NodeId to = moves[i].to;
-    const auto dist = graph::bfs_distances(topo_, to, mask_);
-    std::uint64_t reach_sum = 0, reach_cnt = 0;
-    for (const NodeId u : alive_) {
-      if (dist[u] != graph::kUnreached) {
-        reach_sum += dist[u];
-        ++reach_cnt;
-      }
-    }
-    const std::uint64_t mean =
-        std::max<std::uint64_t>(reach_cnt ? reach_sum / reach_cnt : 1, 1);
+    const auto& dist = oracle_.from(to);
+    const auto reach = oracle_.reach(to);
+    const std::uint64_t mean = std::max<std::uint64_t>(
+        reach.count ? reach.sum / reach.count : 1, 1);
     for (; i < moves.size() && moves[i].to == to; ++i) {
       const NodeId from = moves[i].from;
-      const bool from_alive = from < mask_.size() && mask_[from];
+      const bool from_alive = csr_.alive(from);
       out.messages += from_alive && dist[from] != graph::kUnreached
                           ? dist[from]
                           : mean;
@@ -145,9 +196,13 @@ KvStore::OpResult KvStore::put(std::uint64_t key, std::uint64_t value,
   DEX_ASSERT_MSG(synced_, "KvStore::sync must run before operations");
   OpResult r;
   const auto it = placed_.find(key);
-  const Placement pl = it != placed_.end() ? it->second : best_home(key);
-  if (!route_op(resolve_origin(origin), pl.home, r)) return r;
-  placed_[key] = pl;
+  if (it != placed_.end()) {
+    if (!route_op(resolve_origin(origin), it->second.home(), r)) return r;
+  } else {
+    Placement pl = scan_candidates(key);
+    if (!route_op(resolve_origin(origin), pl.home(), r)) return r;
+    placed_.emplace(key, std::move(pl));
+  }
   values_[key] = value;
   r.ok = true;
   return r;
@@ -157,12 +212,15 @@ KvStore::OpResult KvStore::get(std::uint64_t key, NodeId origin) {
   DEX_ASSERT_MSG(synced_, "KvStore::sync must run before operations");
   OpResult r;
   const auto it = placed_.find(key);
-  const Placement pl = it != placed_.end() ? it->second : best_home(key);
-  if (!route_op(resolve_origin(origin), pl.home, r)) return r;
+  const NodeId home =
+      it != placed_.end() ? it->second.home() : scan_candidates(key).home();
+  if (!route_op(resolve_origin(origin), home, r)) return r;
+  const auto vit = values_.find(key);
+  // A miss pays only the one-way request: no value travels back, and a
+  // failed op's hops must not pass for a served round trip.
+  if (vit == values_.end()) return r;
   r.hops *= 2;  // request + reply
   r.optimal_hops *= 2;
-  const auto vit = values_.find(key);
-  if (vit == values_.end()) return r;
   r.ok = true;
   r.value = vit->second;
   return r;
@@ -172,8 +230,9 @@ KvStore::OpResult KvStore::erase(std::uint64_t key, NodeId origin) {
   DEX_ASSERT_MSG(synced_, "KvStore::sync must run before operations");
   OpResult r;
   const auto it = placed_.find(key);
-  const Placement pl = it != placed_.end() ? it->second : best_home(key);
-  if (!route_op(resolve_origin(origin), pl.home, r)) return r;
+  const NodeId home =
+      it != placed_.end() ? it->second.home() : scan_candidates(key).home();
+  if (!route_op(resolve_origin(origin), home, r)) return r;
   r.ok = values_.erase(key) > 0;
   placed_.erase(key);
   return r;
@@ -183,12 +242,13 @@ std::vector<std::uint64_t> KvStore::keys_at(
     const std::vector<NodeId>& homes) const {
   std::vector<std::uint64_t> out;
   if (homes.empty() || placed_.empty()) return out;
-  std::vector<bool> wanted(mask_.size(), false);
+  std::vector<bool> wanted(csr_.node_count(), false);
   for (const NodeId h : homes) {
     if (h < wanted.size()) wanted[h] = true;
   }
   for (const auto& [key, pl] : placed_) {
-    if (pl.home < wanted.size() && wanted[pl.home]) out.push_back(key);
+    const NodeId h = pl.home();
+    if (h < wanted.size() && wanted[h]) out.push_back(key);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -197,7 +257,7 @@ std::vector<std::uint64_t> KvStore::keys_at(
 NodeId KvStore::home(std::uint64_t key) const {
   DEX_ASSERT_MSG(synced_, "KvStore::sync must run before operations");
   const auto it = placed_.find(key);
-  return it != placed_.end() ? it->second.home : best_home(key).home;
+  return it != placed_.end() ? it->second.home() : scan_candidates(key).home();
 }
 
 // ------------------------------------------------------------ TrafficEngine
@@ -258,16 +318,15 @@ void TrafficEngine::observe_churn(const ChurnBatch& batch) {
   // The region about to churn: every attach point plus every victim's
   // current neighborhood (the victims themselves will be gone by the time
   // requests fire; their neighbors inherit the turbulence). Adjacency comes
-  // from the store's cached topology — frozen since the last sync, i.e.
+  // from the store's cached live view — frozen since the last sync, i.e.
   // exactly the pre-churn view — not from a fresh snapshot copy. Before the
   // first sync there is nothing cached and no key placed, so there is no
   // region worth capturing either.
   std::vector<NodeId> region = batch.attach_to;
   if (!batch.victims.empty() && kv_.synced()) {
-    const auto& g = kv_.topology();
+    const auto& g = kv_.live_view();
     for (const NodeId v : batch.victims) {
-      if (v >= g.node_count()) continue;
-      for (const NodeId u : g.ports(v)) region.push_back(u);
+      for (const NodeId u : g.neighbors(v)) region.push_back(u);
     }
   }
   std::sort(region.begin(), region.end());
@@ -305,11 +364,22 @@ TrafficStepStats TrafficEngine::step(const adversary::AdversaryView& view) {
     } else {
       const std::uint64_t value = support::mix64(key ^ ++write_seq_);
       r = kv_.put(key, value, origin);
-      if (r.ok) acked_[key] = value;
+      if (r.ok) {
+        acked_[key] = value;
+      } else {
+        // The write never reached the key's home: no ack, no stored value.
+        // It used to vanish from every failure metric.
+        ++st.failed_writes;
+      }
     }
     ++st.ops;
-    st.op_hops += r.hops;
-    st.opt_hops += r.optimal_hops;
+    // Hop totals cover completed ops only — a request that never got a
+    // reply has no round trip to account, and folding its hops into the
+    // stretch ratio would reward losing requests.
+    if (r.ok) {
+      st.op_hops += r.hops;
+      st.opt_hops += r.optimal_hops;
+    }
   }
   return st;
 }

@@ -29,6 +29,13 @@
 ///    each applied ChurnBatch; its per-step tallies flow into StepRecord
 ///    and from there through every sink.
 ///
+/// Serving cost per op is amortized ~O(1) in the live view size: the store
+/// keeps a flat CSR snapshot of the step's topology (graph/csr.h, taken
+/// from the runner's CachedView), answers hop optima through a per-step
+/// DistanceOracle (sim/oracle.h) whose single-source BFS frontiers are
+/// shared across the step's ops, and re-homes keys from per-key top-K
+/// rendezvous candidate lists instead of rescanning the whole alive set.
+///
 /// This header sits between sim/overlay.h and sim/scenario.h: it needs the
 /// overlay surface and the AdversaryView, while ScenarioSpec embeds
 /// TrafficSpec — so it must not depend on scenario.h.
@@ -40,8 +47,10 @@
 #include <vector>
 
 #include "adversary/adversary.h"
+#include "graph/csr.h"
 #include "graph/multigraph.h"
 #include "sim/churn.h"
+#include "sim/oracle.h"
 #include "sim/overlay.h"
 #include "support/prng.h"
 
@@ -79,12 +88,20 @@ struct TrafficSpec {
 [[nodiscard]] const char* workload_names();
 
 /// One step's traffic tallies, folded into StepRecord by the runner.
+/// Accounting contract: every op lands in exactly one bucket — delivered
+/// ops (their hops feed op_hops/opt_hops), failed_lookups, or
+/// failed_writes. Hops of failed ops never pollute the stretch ratio.
 struct TrafficStepStats {
   std::size_t ops = 0;
   /// Reads of an acknowledged key that missed or returned a stale value —
   /// the "lost key" signal the conformance suite pins at zero.
   std::size_t failed_lookups = 0;
-  /// Total realized route hops (gets pay the round trip).
+  /// Writes whose request could not be delivered (no live route from the
+  /// origin to the key's home). Invisible before this counter existed: a
+  /// dropped put left no ack and no metric.
+  std::size_t failed_writes = 0;
+  /// Total realized route hops across *completed* ops (gets pay the round
+  /// trip).
   std::uint64_t op_hops = 0;
   /// Total BFS-optimal hops for the same (origin, home) pairs.
   std::uint64_t opt_hops = 0;
@@ -101,6 +118,15 @@ struct TrafficStepStats {
 /// everything on every membership change). sync() must be called after
 /// every churn step, with the post-churn view; it re-homes affected keys
 /// and charges their transfer messages.
+///
+/// Placement invariant (pinned by tests): after every sync(), each stored
+/// key's home equals the rendezvous argmax over the *current* alive set —
+/// keys rebalance onto joiners that out-score the incumbent, exactly as a
+/// fresh store would place them. sync() maintains this incrementally: each
+/// key carries its top-K rendezvous candidates, so a death of the home
+/// promotes the best surviving candidate (exact, because no node outside
+/// the list can out-score its members) and only a fully-died-out list pays
+/// a rescan of the alive set.
 class KvStore {
  public:
   explicit KvStore(const HealingOverlay& overlay);
@@ -110,16 +136,19 @@ class KvStore {
     std::uint64_t messages = 0;
   };
 
-  /// Refreshes the cached topology (one snapshot/mask copy per step,
-  /// through the runner's CachedView) and re-homes keys displaced by the
-  /// membership change. Transfer charge per moved key: the BFS distance
-  /// from its new home to its old one when the old host survived, else the
-  /// mean BFS distance from the new home (the expected recovery pull).
+  /// Refreshes the cached live view (one flat CSR per step — borrowed from
+  /// the runner's CachedView when the view exposes live_csr, rebuilt
+  /// locally otherwise), updates the sorted alive set incrementally from
+  /// the membership delta, and re-homes keys displaced by the change.
+  /// Transfer charge per moved key: the BFS distance from its new home to
+  /// its old one when the old host survived, else the mean BFS distance
+  /// from the new home (the expected recovery pull).
   SyncStats sync(const adversary::AdversaryView& view);
 
   struct OpResult {
-    /// Writes: stored. Reads: key present. False also when no live route
-    /// exists (never on a healing overlay maintaining connectivity).
+    /// Writes: stored. Reads: key present and a value returned. False when
+    /// the key is absent or no live route exists (the latter never on a
+    /// healing overlay maintaining connectivity).
     bool ok = false;
     std::uint64_t hops = 0;
     std::uint64_t optimal_hops = 0;
@@ -134,8 +163,11 @@ class KvStore {
   /// hotspot.
   OpResult put(std::uint64_t key, std::uint64_t value, graph::NodeId origin);
 
-  /// Looks `key` up from `origin`; pays the round trip (2x the one-way
-  /// route).
+  /// Looks `key` up from `origin`. A hit pays the round trip (2x the
+  /// one-way route); a miss pays only the one-way request (there is no
+  /// value to carry back, and the op is failed — its hops must not pass
+  /// for a served round trip in the stretch accounting); a routing failure
+  /// pays nothing.
   OpResult get(std::uint64_t key, graph::NodeId origin);
 
   /// Removes the binding (one-way route); ok = it existed.
@@ -160,10 +192,10 @@ class KvStore {
   /// Whether sync() has run at least once (operations require it).
   [[nodiscard]] bool synced() const { return synced_; }
 
-  /// The topology cached by the last sync() — frozen between churn steps,
+  /// The live view cached by the last sync() — frozen between churn steps,
   /// so callers needing adjacency (the hotspot generator) read it by
   /// reference instead of copying a fresh snapshot.
-  [[nodiscard]] const graph::Multigraph& topology() const { return topo_; }
+  [[nodiscard]] const graph::CsrView& live_view() const { return csr_; }
 
   [[nodiscard]] std::size_t moved_total() const { return moved_total_; }
   [[nodiscard]] std::uint64_t rehash_messages_total() const {
@@ -171,24 +203,43 @@ class KvStore {
   }
 
  private:
-  struct Placement {
-    graph::NodeId home = graph::kInvalidNode;
+  /// Candidates a key keeps per placement, best first. 8 deaths of a key's
+  /// candidates between rescans are essentially impossible under bounded
+  /// churn, so rescans are rare; exactness never depends on the constant.
+  static constexpr std::size_t kHomeCandidates = 8;
+
+  struct Candidate {
+    graph::NodeId node = graph::kInvalidNode;
     std::uint64_t score = 0;
   };
+  /// Top rendezvous candidates by (score desc, id asc); [0] is the home.
+  /// `floor` bounds every *alive non-member's* score (the best score ever
+  /// scanned past, skipped, or truncated out), so the first entry is the
+  /// exact alive argmax whenever its score clears the floor — and sync()
+  /// rescans when it does not, which is the only way a pushed-out node
+  /// could have become the winner again.
+  struct Placement {
+    std::vector<Candidate> top;
+    std::uint64_t floor = 0;
+    [[nodiscard]] graph::NodeId home() const { return top.front().node; }
+  };
 
-  [[nodiscard]] Placement best_home(std::uint64_t key) const;
+  [[nodiscard]] Placement scan_candidates(std::uint64_t key) const;
+  static void merge_candidate(Placement& pl, Candidate c);
   [[nodiscard]] graph::NodeId resolve_origin(graph::NodeId origin) const;
   /// Routes origin -> home; fills hops/optimal_hops; returns delivery.
-  bool route_op(graph::NodeId origin, graph::NodeId home, OpResult& out) const;
+  bool route_op(graph::NodeId origin, graph::NodeId home, OpResult& out);
 
   const HealingOverlay& overlay_;
-  graph::Multigraph topo_;
-  std::vector<bool> mask_;
-  std::vector<graph::NodeId> alive_;
+  graph::CsrView csr_;
+  DistanceOracle oracle_;
+  std::vector<graph::NodeId> alive_;  ///< ascending; maintained by sync()
   bool synced_ = false;
   std::unordered_map<std::uint64_t, Placement> placed_;
   std::unordered_map<std::uint64_t, std::uint64_t> values_;
   std::vector<std::uint64_t> last_moved_;
+  std::vector<graph::NodeId> alive_scratch_;
+  std::vector<graph::NodeId> added_scratch_;
   std::size_t moved_total_ = 0;
   std::uint64_t rehash_messages_total_ = 0;
 };
@@ -197,7 +248,7 @@ class KvStore {
 /// RNG derived from the trial seed (independent of the adversary stream).
 /// The ScenarioRunner calls observe_churn just before each batch is applied
 /// (the hotspot workload notes which region is about to churn, reading
-/// adjacency from the store's cached pre-churn topology) and step right
+/// adjacency from the store's cached pre-churn live view) and step right
 /// after, against the post-churn view.
 class TrafficEngine {
  public:

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/bfs.h"
+#include "graph/csr.h"
 #include "graph/generators.h"
 #include "sim/experiment.h"
 #include "sim/overlay.h"
@@ -42,6 +43,72 @@ void expect_valid_path(const std::vector<NodeId>& path, NodeId src, NodeId dst,
   }
 }
 
+/// A deliberately non-healing overlay: remove() just isolates the victim,
+/// so deletions can cut the topology apart — the only way to make routing
+/// fail against overlays that otherwise maintain connectivity. Used to pin
+/// the failure accounting (failed_writes/failed_lookups) end to end.
+class BrittleOverlay final : public sim::HealingOverlay {
+ public:
+  explicit BrittleOverlay(graph::Multigraph g)
+      : g_(std::move(g)), alive_(g_.node_count(), true) {}
+
+  [[nodiscard]] const char* name() const override { return "brittle"; }
+  NodeId insert(NodeId attach_to) override {
+    const NodeId u = g_.add_node();
+    g_.add_edge(attach_to, u);
+    alive_.push_back(true);
+    return u;
+  }
+  void remove(NodeId victim) override {
+    g_.isolate(victim);  // no healing: neighbors keep whatever is left
+    alive_[victim] = false;
+  }
+  [[nodiscard]] std::size_t n() const override {
+    return static_cast<std::size_t>(
+        std::count(alive_.begin(), alive_.end(), true));
+  }
+  [[nodiscard]] bool alive(NodeId u) const override {
+    return u < alive_.size() && alive_[u];
+  }
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const override {
+    std::vector<NodeId> out;
+    for (NodeId u = 0; u < alive_.size(); ++u)
+      if (alive_[u]) out.push_back(u);
+    return out;
+  }
+  [[nodiscard]] std::vector<bool> alive_mask() const override {
+    return alive_;
+  }
+  [[nodiscard]] graph::Multigraph snapshot() const override { return g_; }
+  [[nodiscard]] std::size_t load(NodeId u) const override {
+    return g_.degree(u);
+  }
+  [[nodiscard]] const sim::CostMeter& meter() const override {
+    return meter_;
+  }
+  [[nodiscard]] sim::StepCost last_step_cost() const override { return {}; }
+
+ private:
+  graph::Multigraph g_;
+  std::vector<bool> alive_;
+  sim::CostMeter meter_;
+};
+
+/// Two cliques bridged by one cut vertex: deleting it on a non-healing
+/// overlay splits the network into two components.
+graph::Multigraph barbell(std::size_t side) {
+  graph::Multigraph g(2 * side + 1);
+  const NodeId cut = static_cast<NodeId>(2 * side);
+  for (std::size_t c = 0; c < 2; ++c) {
+    const NodeId base = static_cast<NodeId>(c * side);
+    for (NodeId i = 0; i < side; ++i) {
+      for (NodeId j = i + 1; j < side; ++j) g.add_edge(base + i, base + j);
+    }
+    g.add_edge(base, cut);
+  }
+  return g;
+}
+
 }  // namespace
 
 // --------------------------------------------------------- routing surface
@@ -51,10 +118,12 @@ TEST(RouteSurface, BaselineRouteIsTheBfsShortestPath) {
   const auto g = overlay.snapshot();
   const auto mask = overlay.alive_mask();
   const auto nodes = overlay.alive_nodes();
+  graph::CsrView live;
+  live.build(g, mask);
   for (const NodeId src : {nodes[0], nodes[7], nodes[23]}) {
     const auto dist = graph::bfs_distances(g, src, mask);
     for (const NodeId dst : nodes) {
-      const auto path = overlay.route(src, dst, g, mask);
+      const auto path = overlay.route(src, dst, live);
       expect_valid_path(path, src, dst, g, mask);
       EXPECT_EQ(path.size() - 1, dist[dst]) << src << " -> " << dst;
     }
@@ -66,14 +135,18 @@ TEST(RouteSurface, DexRouteIsValidAndNeverBeatsBfs) {
   const auto g = overlay.snapshot();
   const auto mask = overlay.alive_mask();
   const auto nodes = overlay.alive_nodes();
+  graph::CsrView live;
+  live.build(g, mask);
   support::Rng rng(17);
   for (int i = 0; i < 64; ++i) {
     const NodeId src = nodes[rng.below(nodes.size())];
     const NodeId dst = nodes[rng.below(nodes.size())];
-    const auto path = overlay.route(src, dst, g, mask);
+    const auto path = overlay.route(src, dst, live);
     expect_valid_path(path, src, dst, g, mask);
     const auto dist = graph::bfs_distances(g, src, mask);
     EXPECT_GE(path.size() - 1, dist[dst]);
+    // The memoized contraction must answer the repeat identically.
+    EXPECT_EQ(overlay.route(src, dst, live), path);
   }
 }
 
@@ -159,6 +232,146 @@ TEST(Stretch, ExactlyOneOnAStaticRing) {
   }
   EXPECT_GT(hops, 0u);
   EXPECT_EQ(hops, optimal);
+}
+
+TEST(Stretch, MissPaysOneWayOnlyAndHitPaysTheRoundTrip) {
+  // The hop audit: a lookup that finds no value gets no reply, so it must
+  // not be billed the round trip a hit pays — pinned by comparing the same
+  // (origin, home) pair before and after the key is stored.
+  sim::XhealOverlay overlay(graph::make_cycle(16));
+  sim::CachedView cache(overlay);
+  sim::KvStore kv(overlay);
+  kv.sync(cache.view());
+  const std::uint64_t key = 5;
+  const NodeId home = kv.home(key);
+  const NodeId origin = (home + 4) % 16;  // distance 4 on the ring
+  const auto miss = kv.get(key, origin);
+  EXPECT_FALSE(miss.ok);
+  EXPECT_FALSE(miss.value.has_value());
+  EXPECT_GT(miss.hops, 0u);  // the request itself still traveled
+  ASSERT_TRUE(kv.put(key, 77, origin).ok);
+  const auto hit = kv.get(key, origin);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_EQ(hit.hops, 2 * miss.hops);
+  EXPECT_EQ(hit.optimal_hops, 2 * miss.optimal_hops);
+}
+
+// ------------------------------------------------- failure accounting
+
+TEST(FailureAccounting, FailedWritesAreCountedWhenChurnCutsTheOriginAway) {
+  // Deleting the barbell's cut vertex on a non-healing overlay splits the
+  // network mid-run: every cross-component request must fail *and be
+  // counted* — a dropped put used to vanish from every failure metric.
+  BrittleOverlay overlay(barbell(6));
+  const NodeId cut = 12;
+  std::vector<adversary::ChurnAction> script{{false, cut}};
+  for (int i = 0; i < 5; ++i) script.push_back({true, 0});
+  adversary::Scripted strategy(std::move(script));
+  sim::ScenarioSpec spec;
+  spec.seed = 11;
+  spec.steps = 6;
+  spec.min_n = 3;
+  spec.max_n = 64;
+  spec.traffic.workload = "uniform";
+  spec.traffic.ops_per_step = 40;
+  spec.traffic.keyspace = 64;
+  spec.traffic.read_fraction = 0.5;
+  sim::ScenarioRunner runner(overlay, strategy, spec);
+  const auto result = runner.run();
+  EXPECT_EQ(result.total_ops, 240u);
+  EXPECT_GT(result.total_failed_writes, 0u);
+  EXPECT_GT(result.total_failed_lookups, 0u);
+  // Delivered ops kept routing inside their component, so realized hops
+  // still dominate the optima and nothing negative leaked into the totals.
+  EXPECT_GE(result.total_op_hops, result.total_opt_hops);
+  // The new column flows through the CSV trace and the JSON summary.
+  const auto csv = sim::trace_csv(result);
+  EXPECT_NE(csv.find("failed_writes"), std::string::npos);
+  std::size_t csv_failed_writes = 0;
+  for (const auto& rec : result.trace) csv_failed_writes += rec.failed_writes;
+  EXPECT_EQ(csv_failed_writes, result.total_failed_writes);
+  const auto json = sim::summary_json(result);
+  EXPECT_NE(json.find("\"failed_writes\": " +
+                      std::to_string(result.total_failed_writes)),
+            std::string::npos);
+}
+
+TEST(FailureAccounting, NoDeliveredOpMeansNoStretchInCsvOrJson) {
+  // Hub-and-spoke with the hub deleted: every op between distinct nodes is
+  // unroutable, so no hop is ever accounted — the per-row CSV stretch cells
+  // stay blank and the JSON summary must *omit* mean_stretch rather than
+  // report a fictitious 1.0 (the guard-consistency bug).
+  graph::Multigraph star(9);
+  for (NodeId u = 0; u < 8; ++u) star.add_edge(u, 8);
+  BrittleOverlay overlay(std::move(star));
+  // Delete the hub, then prune spokes: the survivors stay isolated, so ops
+  // between distinct nodes can never deliver.
+  std::vector<adversary::ChurnAction> script{
+      {false, 8}, {false, 1}, {false, 2}, {false, 3}};
+  adversary::Scripted strategy(std::move(script));
+  sim::ScenarioSpec spec;
+  spec.seed = 2;
+  spec.steps = 4;
+  spec.min_n = 3;
+  spec.max_n = 64;
+  spec.traffic.workload = "uniform";
+  spec.traffic.ops_per_step = 16;
+  spec.traffic.keyspace = 32;
+  sim::ScenarioRunner runner(overlay, strategy, spec);
+  const auto result = runner.run();
+  EXPECT_EQ(result.total_opt_hops, 0u);
+  EXPECT_EQ(result.total_op_hops, 0u);
+  EXPECT_GT(result.total_failed_writes + result.total_failed_lookups, 0u);
+  EXPECT_EQ(sim::summary_json(result).find("mean_stretch"),
+            std::string::npos);
+  for (const auto& rec : result.trace) {
+    const auto cells = sim::trace_csv_cells(rec);
+    const auto& header = sim::trace_csv_header();
+    const auto at = [&](const char* name) {
+      return cells[std::find(header.begin(), header.end(), name) -
+                   header.begin()];
+    };
+    EXPECT_EQ(at("stretch"), "");  // blank cell, matching the JSON omission
+  }
+}
+
+// --------------------------------------------------- placement invariant
+
+TEST(KvStore, PlacementTracksAFreshStoreThroughJoinsAndLeaves) {
+  // The sticky-placement audit: after any amount of churn, every stored
+  // key must sit exactly where a fresh KvStore over the same view would
+  // put it — keys rebalance onto joiners that out-score their incumbent,
+  // and the incremental candidate lists never drift from the rendezvous
+  // argmax.
+  sim::LawSiuOverlay overlay(24, /*d=*/3, /*seed=*/8);
+  sim::CachedView cache(overlay);
+  sim::KvStore kv(overlay);
+  kv.sync(cache.view());
+  const auto seed_nodes = overlay.alive_nodes();
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    ASSERT_TRUE(kv.put(k, k, seed_nodes[k % seed_nodes.size()]).ok);
+  }
+  support::Rng rng(99);
+  for (int step = 0; step < 60; ++step) {
+    const auto nodes = overlay.alive_nodes();
+    if (rng.chance(0.55) || nodes.size() < 14) {
+      overlay.insert(nodes[rng.below(nodes.size())]);
+    } else {
+      overlay.remove(nodes[rng.below(nodes.size())]);
+    }
+    cache.invalidate();
+    kv.sync(cache.view());
+    if (step % 2 == 0) {  // occasionally shrink placed_ too
+      kv.erase(rng.below(256), overlay.alive_nodes()[0]);
+    }
+    sim::KvStore fresh(overlay);
+    fresh.sync(cache.view());
+    for (std::uint64_t k = 0; k < 256; ++k) {
+      ASSERT_EQ(kv.home(k), fresh.home(k))
+          << "key " << k << " drifted from the rendezvous argmax at step "
+          << step;
+    }
+  }
 }
 
 // ------------------------------------------------- conformance (E7 gate)
