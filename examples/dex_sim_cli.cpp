@@ -91,6 +91,7 @@ struct ScenarioArgs {
   std::vector<std::uint64_t> seeds{1};
   std::vector<std::size_t> batch_sizes{1};
   std::size_t jobs = 1;
+  unsigned trial_jobs = 1;
   std::string csv_path;
   std::string json_path;
   dex::sim::ScenarioSpec spec;
@@ -168,7 +169,8 @@ void print_usage(std::FILE* out) {
       "                   [--batch-size=B,..] [--burst=K] [--no-trace]\n"
       "                   [--workload=NAME] [--ops-per-step=N] [--keys=K]\n"
       "                   [--zipf=S] [--read-frac=P]\n"
-      "                   [--sweep] [--jobs=J] [--csv=FILE] [--json=FILE]\n"
+      "                   [--sweep] [--jobs=J] [--trial-jobs=J]\n"
+      "                   [--csv=FILE] [--json=FILE]\n"
       "       dex_sim_cli [script-file]        (legacy scripted mode)\n"
       "\n"
       "Every flag accepts both the =VALUE form and a following VALUE arg.\n"
@@ -194,7 +196,10 @@ void print_usage(std::FILE* out) {
       "--sweep expands comma-listed --backend/--scenario/--n0/--batch-size/\n"
       "--seed axes into a grid (--backend all = every backend) and runs the\n"
       "trials on --jobs threads; rows gain a leading trial column and the\n"
-      "output is byte-identical for every --jobs value.\n",
+      "output is byte-identical for every --jobs value. --trial-jobs adds\n"
+      "threads *inside* each trial (parallel walk-port enumeration on DEX;\n"
+      "also byte-identical) — raise it for few-but-huge trials instead of\n"
+      "--jobs.\n",
       dex::sim::overlay_names(), dex::sim::strategy_names(),
       dex::sim::workload_names());
 }
@@ -259,6 +264,8 @@ int run_scenario(int argc, char** argv) {
         traffic_knob = true;
       } else if (parse_flag(argc, argv, i, "jobs", v)) {
         a.jobs = parse_u64(v);
+      } else if (parse_flag(argc, argv, i, "trial-jobs", v)) {
+        a.trial_jobs = static_cast<unsigned>(parse_u64(v));
       } else if (parse_flag(argc, argv, i, "csv", v)) {
         a.csv_path = v;
       } else if (parse_flag(argc, argv, i, "json", v)) {
@@ -414,6 +421,7 @@ int run_scenario(int argc, char** argv) {
   dex::sim::JsonSummarySink json_sink(*json_os, /*trial_field=*/a.sweep);
   dex::sim::ExecutorOptions opts;
   opts.jobs = a.sweep ? a.jobs : 1;
+  opts.trial_jobs = a.trial_jobs;
   opts.stream_steps = a.trace;
   opts.collect_results = false;
   dex::sim::Executor executor(opts);

@@ -53,6 +53,9 @@ NodeId LawSiuNetwork::random_alive() {
 
 void LawSiuNetwork::splice_in(std::size_t c, NodeId u, NodeId after) {
   const NodeId nxt = succ_[c][after];
+  // u rides the step's `born` entry; the patcher re-enumerates born rows.
+  journal_dirty(after);
+  journal_dirty(nxt);
   succ_[c][after] = u;
   pred_[c][u] = after;
   succ_[c][u] = nxt;
@@ -64,6 +67,8 @@ void LawSiuNetwork::splice_in(std::size_t c, NodeId u, NodeId after) {
 void LawSiuNetwork::splice_out(std::size_t c, NodeId u) {
   const NodeId prv = pred_[c][u];
   const NodeId nxt = succ_[c][u];
+  journal_dirty(prv);
+  journal_dirty(nxt);
   succ_[c][prv] = nxt;
   pred_[c][nxt] = prv;
   meter_.add_topology(3);  // remove (prv,u),(u,nxt); add (prv,nxt)
@@ -75,6 +80,7 @@ NodeId LawSiuNetwork::insert() {
   const NodeId u = static_cast<NodeId>(alive_.size());
   alive_.push_back(true);
   ++n_alive_;
+  if (journal_ && !journal_->full) journal_->born.push_back(u);
   for (std::size_t c = 0; c < cycles_; ++c) {
     succ_[c].push_back(u);
     pred_[c].push_back(u);
@@ -98,7 +104,22 @@ void LawSiuNetwork::remove(NodeId victim) {
   meter_.add_rounds(2);
   alive_[victim] = false;
   --n_alive_;
+  if (journal_ && !journal_->full) journal_->died.push_back(victim);
   last_ = meter_.end_step();
+}
+
+bool LawSiuNetwork::live_ports(NodeId u, std::vector<NodeId>& out) const {
+  out.clear();
+  for (std::size_t c = 0; c < cycles_; ++c) {
+    const NodeId s = succ_[c][u];
+    if (s == u) continue;  // degenerate single-node cycle
+    const NodeId p = pred_[c][u];
+    // Mirror snapshot()'s 2-cycle guard: a u <-> s pair is one edge, so
+    // exactly one of {succ, pred} may emit it.
+    if (u < s || succ_[c][s] != u) out.push_back(s);
+    if (p < u || s != p) out.push_back(p);
+  }
+  return true;
 }
 
 graph::Multigraph LawSiuNetwork::snapshot() const {

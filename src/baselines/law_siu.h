@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/multigraph.h"
 #include "sim/meters.h"
 #include "support/prng.h"
@@ -50,10 +51,21 @@ class LawSiuNetwork {
   [[nodiscard]] const sim::CostMeter& meter() const { return meter_; }
   [[nodiscard]] sim::StepCost last_step() const { return last_; }
 
+  /// Live neighbors of u straight off the succ/pred arrays — the same
+  /// multiset snapshot() emits for u (2-cycles collapse to one edge), in
+  /// per-cycle {succ, pred} order. Always available.
+  [[nodiscard]] bool live_ports(NodeId u, std::vector<NodeId>& out) const;
+
+  /// Churn journal for incremental CSR maintenance (graph/csr.h); borrowed.
+  void set_view_journal(graph::ViewDelta* j) { journal_ = j; }
+
  private:
   void splice_in(std::size_t c, NodeId u, NodeId after);
   void splice_out(std::size_t c, NodeId u);
   [[nodiscard]] NodeId random_alive();
+  void journal_dirty(NodeId u) {
+    if (journal_ && !journal_->full) journal_->dirty.push_back(u);
+  }
 
   std::size_t cycles_;
   support::Rng rng_;
@@ -64,6 +76,7 @@ class LawSiuNetwork {
   /// succ_[c][u] / pred_[c][u]: cycle c's successor/predecessor of node u.
   std::vector<std::vector<NodeId>> succ_;
   std::vector<std::vector<NodeId>> pred_;
+  graph::ViewDelta* journal_ = nullptr;
 };
 
 }  // namespace dex::baselines

@@ -46,6 +46,8 @@ std::vector<NodeId> RandomFlipNetwork::alive_nodes() const {
 }
 
 std::size_t RandomFlipNetwork::alloc_edge(NodeId a, NodeId b) {
+  journal_dirty(a);
+  journal_dirty(b);
   std::size_t e;
   if (!free_slots_.empty()) {
     e = free_slots_.back();
@@ -63,6 +65,7 @@ std::size_t RandomFlipNetwork::alloc_edge(NodeId a, NodeId b) {
 void RandomFlipNetwork::free_edge(std::size_t e) {
   for (NodeId side : {edges_[e].a, edges_[e].b}) {
     if (side == kFree) continue;
+    journal_dirty(side);
     auto& inc = incident_[side];
     auto it = std::find(inc.begin(), inc.end(), e);
     if (it != inc.end()) inc.erase(it);
@@ -102,6 +105,10 @@ void RandomFlipNetwork::run_flips() {
       DEX_ASSERT(it != inc.end());
       *it = to;
     };
+    journal_dirty(edges_[e1].a);
+    journal_dirty(edges_[e1].b);
+    journal_dirty(edges_[e2].a);
+    journal_dirty(edges_[e2].b);
     fix(edges_[e1].b, e1, e2);
     fix(edges_[e2].b, e2, e1);
     std::swap(edges_[e1].b, edges_[e2].b);
@@ -117,6 +124,7 @@ NodeId RandomFlipNetwork::insert() {
   alive_.push_back(true);
   ++n_alive_;
   incident_.emplace_back();
+  if (journal_ && !journal_->full) journal_->born.push_back(u);
   // Subdivide d/2 random non-loop edges through u.
   for (std::size_t k = 0; k < d_ / 2; ++k) {
     std::size_t e = random_edge();
@@ -162,6 +170,7 @@ void RandomFlipNetwork::remove(NodeId victim) {
   }
   alive_[victim] = false;
   --n_alive_;
+  if (journal_ && !journal_->full) journal_->died.push_back(victim);
   run_flips();
   meter_.add_rounds(2);
   last_ = meter_.end_step();
@@ -173,6 +182,16 @@ std::size_t RandomFlipNetwork::max_degree() const {
     if (alive_[u]) best = std::max(best, incident_[u].size());
   }
   return best;
+}
+
+bool RandomFlipNetwork::live_ports(NodeId u, std::vector<NodeId>& out) const {
+  out.clear();
+  for (const std::size_t e : incident_[u]) {
+    const Edge& ed = edges_[e];
+    if (!alive_[ed.a] || !alive_[ed.b]) continue;  // mirror snapshot's mask
+    out.push_back(ed.a == u ? ed.b : ed.a);
+  }
+  return true;
 }
 
 graph::Multigraph RandomFlipNetwork::snapshot() const {

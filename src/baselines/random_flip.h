@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/multigraph.h"
 #include "sim/meters.h"
 #include "support/prng.h"
@@ -46,6 +47,13 @@ class RandomFlipNetwork {
   [[nodiscard]] const sim::CostMeter& meter() const { return meter_; }
   [[nodiscard]] sim::StepCost last_step() const { return last_; }
 
+  /// Live neighbors of u off the incidence list (self-loops emit u twice,
+  /// matching snapshot()'s loop-counts-2 convention). Always available.
+  [[nodiscard]] bool live_ports(NodeId u, std::vector<NodeId>& out) const;
+
+  /// Churn journal for incremental CSR maintenance (graph/csr.h); borrowed.
+  void set_view_journal(graph::ViewDelta* j) { journal_ = j; }
+
  private:
   struct Edge {
     NodeId a;
@@ -55,6 +63,9 @@ class RandomFlipNetwork {
   [[nodiscard]] std::size_t random_edge();
   std::size_t alloc_edge(NodeId a, NodeId b);
   void free_edge(std::size_t e);
+  void journal_dirty(NodeId u) {
+    if (journal_ && !journal_->full) journal_->dirty.push_back(u);
+  }
 
   std::size_t d_;
   std::size_t flips_per_step_;
@@ -66,6 +77,7 @@ class RandomFlipNetwork {
   std::vector<Edge> edges_;
   std::vector<std::size_t> free_slots_;  ///< recycled edge indices
   std::vector<std::vector<std::size_t>> incident_;  ///< node -> edge indices
+  graph::ViewDelta* journal_ = nullptr;
 };
 
 }  // namespace dex::baselines

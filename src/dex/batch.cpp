@@ -4,7 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "graph/bfs.h"
+#include "graph/csr.h"
 #include "sim/token_engine.h"
 #include "support/mathutil.h"
 
@@ -12,13 +12,55 @@ namespace dex {
 
 namespace {
 
+/// Connectivity of the survivors (alive minus `dying`) on the live
+/// adjacency: one BFS over the caller's maintained CSR when one is wired,
+/// else over ports_of — neither path materializes a Multigraph. The CSR and
+/// ports_of expose the same adjacency multiset (live_ports contract), so
+/// the verdict cannot depend on which path ran.
+bool survivors_connected(const DexNetwork& net, const graph::CsrView* live,
+                         const std::unordered_set<NodeId>& dying) {
+  const std::vector<bool> alive = net.alive_mask();
+  const std::size_t survivors = net.n() - dying.size();
+  if (survivors <= 1) return true;
+  NodeId start = kInvalidNode;
+  for (NodeId u = 0; u < alive.size(); ++u) {
+    if (alive[u] && !dying.contains(u)) {
+      start = u;
+      break;
+    }
+  }
+  DEX_ASSERT(start != kInvalidNode);
+  std::vector<char> seen(alive.size(), 0);
+  std::vector<NodeId> queue{start};
+  seen[start] = 1;
+  std::size_t visited = 1;
+  std::vector<std::uint64_t> ports;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    auto visit = [&](NodeId w) {
+      if (seen[w] || dying.contains(w)) return;
+      seen[w] = 1;
+      ++visited;
+      queue.push_back(w);
+    };
+    if (live != nullptr) {
+      for (const NodeId w : live->neighbors(u)) visit(w);
+    } else {
+      net.ports_of(u, ports);
+      for (const std::uint64_t t : ports) visit(static_cast<NodeId>(t));
+    }
+  }
+  return visited == survivors;
+}
+
 /// The one §5 precondition checker (duplicates, population floor, surviving
 /// neighbors, attach survival + multiplicity cap, remainder connectivity).
 /// Returns nullptr when `req` is valid, else a description of the first
 /// violation — batch_feasible and apply_batch's assert path both consume
 /// this, so the fatal and non-fatal checks can never drift apart.
 const char* precondition_violation(const DexNetwork& net,
-                                   const BatchRequest& req) {
+                                   const BatchRequest& req,
+                                   const graph::CsrView* live) {
   std::unordered_set<NodeId> dying(req.deletions.begin(),
                                    req.deletions.end());
   if (dying.size() != req.deletions.size()) return "duplicate victims";
@@ -45,10 +87,7 @@ const char* precondition_violation(const DexNetwork& net,
       return "attach multiplicity exceeds the O(1) cap";
   }
   if (!req.deletions.empty()) {
-    auto g = net.snapshot();
-    std::vector<bool> alive = net.alive_mask();
-    for (NodeId v : req.deletions) alive[v] = false;
-    if (!graph::is_connected(g, alive))
+    if (!survivors_connected(net, live, dying))
       return "deletions would disconnect the network";
   }
   return nullptr;
@@ -56,16 +95,17 @@ const char* precondition_violation(const DexNetwork& net,
 
 }  // namespace
 
-bool batch_feasible(const DexNetwork& net, const BatchRequest& req) {
+bool batch_feasible(const DexNetwork& net, const BatchRequest& req,
+                    const graph::CsrView* live) {
   if (net.params().mode != RecoveryMode::Amortized ||
       net.staggered_active()) {
     return false;
   }
-  return precondition_violation(net, req) == nullptr;
+  return precondition_violation(net, req, live) == nullptr;
 }
 
 BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
-                        bool prevalidated) {
+                        bool prevalidated, const graph::CsrView* live) {
   BatchResult res;
   auto& rng = net.rng();
   auto& meter = net.meter_mut();
@@ -74,7 +114,7 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
                  "batch steps use the simplified (amortized) rebuilds; run "
                  "the network in RecoveryMode::Amortized");
   if (!prevalidated) {
-    const char* violation = precondition_violation(net, req);
+    const char* violation = precondition_violation(net, req, live);
     DEX_ASSERT_MSG(violation == nullptr, violation);
   }
 
@@ -161,7 +201,7 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
       return true;
     };
     auto walk = sim::run_walks(std::move(tokens), ports_fn, rng, round_limit,
-                               accept_target);
+                               accept_target, net.walk_jobs());
     meter.add_rounds(walk.rounds);
     meter.add_messages(walk.messages);
     std::vector<Vertex> remaining;
@@ -228,7 +268,7 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
       return true;
     };
     auto walk = sim::run_walks(std::move(tokens), ports_fn, rng, round_limit,
-                               accept_host);
+                               accept_host, net.walk_jobs());
     meter.add_rounds(walk.rounds);
     meter.add_messages(walk.messages);
     std::vector<Pending> remaining;

@@ -45,12 +45,16 @@ struct BatchResult {
 };
 
 /// Applies one batch step. Aborts (DEX_ASSERT) if the request violates the
-/// model's preconditions. `prevalidated = true` skips the O(m)
-/// precondition re-check (snapshot + connectivity BFS) — pass it only when
-/// batch_feasible() was just consulted on the unchanged network, as
-/// DexOverlay::apply does.
+/// model's preconditions. `prevalidated = true` skips the precondition
+/// re-check (connectivity BFS) — pass it only when batch_feasible() was
+/// just consulted on the unchanged network, as DexOverlay::apply does.
+/// `live` optionally points at a caller-maintained current CSR of the live
+/// topology (see HealingOverlay::set_live_view_provider); the connectivity
+/// precondition then runs on it with the victims masked instead of walking
+/// ports_of per node.
 BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
-                        bool prevalidated = false);
+                        bool prevalidated = false,
+                        const graph::CsrView* live = nullptr);
 
 /// Non-fatal §5 precondition check: true iff `req` can be handed to
 /// apply_batch without tripping its asserts — network in amortized mode
@@ -59,7 +63,11 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
 /// points alive and surviving, and at most sim::kMaxAttachPerNode
 /// newcomers per attach point (the paper's O(1) attach multiplicity).
 /// sim::DexOverlay::apply consults this to decide parallel vs. sequential.
+/// `live`: as in apply_batch — a current CSR makes the connectivity check
+/// delta-cheap; without one the check BFSes via ports_of (no Multigraph
+/// materialization either way).
 [[nodiscard]] bool batch_feasible(const DexNetwork& net,
-                                  const BatchRequest& req);
+                                  const BatchRequest& req,
+                                  const graph::CsrView* live = nullptr);
 
 }  // namespace dex

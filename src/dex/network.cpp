@@ -88,6 +88,18 @@ std::size_t DexNetwork::max_degree() const {
   return best;
 }
 
+bool DexNetwork::live_ports(NodeId u, std::vector<NodeId>& out) const {
+  // During a staggered window the build/tear extras are enumerated
+  // asymmetrically (an unprocessed endpoint does not see its reverse port
+  // yet), so no symmetric per-node row exists short of a snapshot.
+  if (staggered_active()) return false;
+  out.clear();
+  for (Vertex z : map_.sim(u)) {
+    for (Vertex w : cyc_->ports(z)) out.push_back(map_.owner(w));
+  }
+  return true;
+}
+
 void DexNetwork::ports_of(NodeId u, std::vector<std::uint64_t>& out) const {
   out.clear();
   for (Vertex z : map_.sim(u)) {
@@ -157,6 +169,7 @@ NodeId DexNetwork::insert(NodeId attach_to) {
   const NodeId u = allocate_node();
   alive_[u] = true;
   ++n_alive_;
+  journal_born(u);
   handle_insert_recovery(u, attach_to);
   post_step_common(u);
   return u;
@@ -345,8 +358,7 @@ bool DexNetwork::dispatch_insert(NodeId u, NodeId attach_to) {
         }
       }
     }
-    meter_.add_topology(map_.transfer(give, u));
-    meter_.add_messages(2);
+    transfer_current_vertex(give, u);
     // If the newcomer's vertex carries no future new-cycle vertex, grab a
     // claim via a contending walk (Algorithm 4.9 line 4).
     bool has_future = build_->claim_count[u] > 0 || build_->new_load[u] > 0;
@@ -373,8 +385,7 @@ bool DexNetwork::dispatch_insert(NodeId u, NodeId attach_to) {
       [&](NodeId c) { return c != u && alive(c) && map_.in_spare(c); },
       /*insert_side=*/true, /*exclude=*/u);
   if (w == kInvalidNode) return false;  // type-2 rebuild/trigger; re-dispatch
-  meter_.add_topology(map_.transfer(map_.sim(w).back(), u));
-  meter_.add_messages(2);
+  transfer_current_vertex(map_.sim(w).back(), u);
   return true;
 }
 
@@ -401,8 +412,12 @@ NodeId DexNetwork::handle_delete_recovery(NodeId victim) {
 
   alive_[victim] = false;
   --n_alive_;
+  journal_died(victim);
 
-  for (Vertex z : absorbed_cur) meter_.add_topology(map_.transfer(z, v));
+  for (Vertex z : absorbed_cur) {
+    journal_transfer(z, v);
+    meter_.add_topology(map_.transfer(z, v));
+  }
   for (Vertex y : absorbed_new) transfer_new_vertex(y, v);
   for (Vertex x : absorbed_old) transfer_old_residual(x, v);
   meter_.add_messages(2 * (absorbed_cur.size() + absorbed_new.size() +
@@ -439,8 +454,7 @@ NodeId DexNetwork::handle_delete_recovery(NodeId victim) {
       const NodeId w = walk_until_found(v, accept_delete,
                                         /*insert_side=*/false);
       if (w == kInvalidNode) continue;  // state changed; re-evaluate
-      meter_.add_topology(map_.transfer(z, w));
-      meter_.add_messages(2);
+      transfer_current_vertex(z, w);
       break;
     }
     if (cycle_epoch_ != epoch) break;  // a rebuild re-homed everything
@@ -508,6 +522,7 @@ void DexNetwork::simplified_inflate() {
 
   map_ = std::move(nm);
   cyc_ = std::make_unique<PCycle>(std::move(nc));
+  journal_full();  // wholesale remap: every row changed
   ++cycle_epoch_;
   ++inflations_;
   report_.type2_event = true;
@@ -543,6 +558,7 @@ void DexNetwork::simplified_deflate() {
 
   map_ = std::move(nm);
   cyc_ = std::make_unique<PCycle>(std::move(nc));
+  journal_full();  // wholesale remap: every row changed
   ++cycle_epoch_;
   ++deflations_;
   report_.type2_event = true;
@@ -589,7 +605,8 @@ void DexNetwork::rebalance_inflated(VirtualMapping& nm, const PCycle& nc) {
     }
     if (tokens.empty()) return;
 
-    auto res = sim::run_walks(std::move(tokens), vports, rng_, round_limit);
+    auto res = sim::run_walks(std::move(tokens), vports, rng_, round_limit,
+                              /*accept=*/{}, walk_jobs_);
     meter_.add_rounds(res.rounds);
     meter_.add_messages(res.messages);
 
@@ -656,7 +673,8 @@ void DexNetwork::resolve_contenders_deflated(VirtualMapping& nm,
       t.tag = u;
       tokens.push_back(t);
     }
-    auto res = sim::run_walks(std::move(tokens), vports, rng_, round_limit);
+    auto res = sim::run_walks(std::move(tokens), vports, rng_, round_limit,
+                              /*accept=*/{}, walk_jobs_);
     meter_.add_rounds(res.rounds);
     meter_.add_messages(res.messages);
 
@@ -718,8 +736,7 @@ std::uint32_t DexNetwork::sampled_mean_distance(const PCycle& c) {
 
 bool DexNetwork::try_assign_spare_vertex(NodeId newcomer, NodeId host) {
   if (!alive(host) || host == newcomer || !map_.in_spare(host)) return false;
-  meter_.add_topology(map_.transfer(map_.sim(host).back(), newcomer));
-  meter_.add_messages(2);
+  transfer_current_vertex(map_.sim(host).back(), newcomer);
   return true;
 }
 
@@ -729,7 +746,11 @@ void DexNetwork::absorb_and_mark_dead(NodeId victim, NodeId& absorber,
   absorbed = map_.sim(victim);
   alive_[victim] = false;
   --n_alive_;
-  for (Vertex z : absorbed) meter_.add_topology(map_.transfer(z, absorber));
+  journal_died(victim);
+  for (Vertex z : absorbed) {
+    journal_transfer(z, absorber);
+    meter_.add_topology(map_.transfer(z, absorber));
+  }
   meter_.add_messages(2 * absorbed.size());
 }
 

@@ -31,6 +31,7 @@
 #include "dex/index_maps.h"
 #include "dex/mapping.h"
 #include "dex/pcycle.h"
+#include "graph/csr.h"
 #include "graph/multigraph.h"
 #include "sim/meters.h"
 #include "support/prng.h"
@@ -166,6 +167,26 @@ class DexNetwork {
   /// for the batch engine and the walk tests.
   void ports_of(NodeId u, std::vector<std::uint64_t>& out) const;
 
+  /// Incremental-view surface (graph/csr.h). Calm-mode live adjacency of u:
+  /// the current-cycle part of ports_of, same multiset convention as
+  /// snapshot(). Returns false during a staggered rebuild — the build/tear
+  /// extras enumerate asymmetrically between processed and unprocessed
+  /// endpoints, so there is no cheap symmetric row to offer and callers
+  /// must take the snapshot path (the journal reports full deltas across
+  /// those windows anyway).
+  [[nodiscard]] bool live_ports(NodeId u, std::vector<NodeId>& out) const;
+
+  /// Installs (or clears, with nullptr) the churn journal the network
+  /// appends touched ids to; the caller drains it between steps (see
+  /// sim::HealingOverlay::drain_view_delta). Borrowed, not owned.
+  void set_view_journal(graph::ViewDelta* j) { journal_ = j; }
+
+  /// Intra-step walk parallelism: thread budget handed to sim::run_walks
+  /// for the type-2 rebalance/contender epochs (byte-identical results for
+  /// every value; see token_engine.h).
+  void set_walk_jobs(unsigned jobs) { walk_jobs_ = jobs == 0 ? 1 : jobs; }
+  [[nodiscard]] unsigned walk_jobs() const { return walk_jobs_; }
+
   support::Rng& rng() { return rng_; }
   sim::CostMeter& meter_mut() { return meter_; }
 
@@ -176,6 +197,7 @@ class DexNetwork {
     DEX_ASSERT(u < alive_.size() && !alive_[u]);
     alive_[u] = true;
     ++n_alive_;
+    journal_born(u);
   }
   /// Low-level pieces used by the batch engine.
   [[nodiscard]] bool try_assign_spare_vertex(NodeId newcomer, NodeId host);
@@ -184,6 +206,7 @@ class DexNetwork {
   [[nodiscard]] bool redistribution_target_ok(NodeId w) const;
   /// Moves a current-cycle vertex (batch redistribution); meters topology.
   void transfer_current_vertex(Vertex z, NodeId to) {
+    journal_transfer(z, to);
     meter_.add_topology(map_.transfer(z, to));
     meter_.add_messages(2);
   }
@@ -301,6 +324,28 @@ class DexNetwork {
 
   [[nodiscard]] NodeId pick_recovery_neighbor(NodeId victim) const;
 
+  // --- churn journal (graph/csr.h ViewDelta; no-ops when none installed).
+  // Entries after a full mark are dropped — the full mark supersedes them
+  // and keeps the lists from growing across a whole staggered window.
+  void journal_born(NodeId u) {
+    if (journal_ && !journal_->full) journal_->born.push_back(u);
+  }
+  void journal_died(NodeId u) {
+    if (journal_ && !journal_->full) journal_->died.push_back(u);
+  }
+  void journal_full() {
+    if (journal_) journal_->mark_full();
+  }
+  /// Adjacency touched when current-cycle vertex z moves to `to`: the old
+  /// owner, the new owner, and the owners of z's cycle neighbors. Must run
+  /// BEFORE the map_.transfer it describes.
+  void journal_transfer(Vertex z, NodeId to) {
+    if (!journal_ || journal_->full) return;
+    journal_->dirty.push_back(map_.owner(z));
+    journal_->dirty.push_back(to);
+    for (Vertex w : cyc_->ports(z)) journal_->dirty.push_back(map_.owner(w));
+  }
+
   // --- data ---
   Params prm_;
   support::Rng rng_;
@@ -317,6 +362,8 @@ class DexNetwork {
   std::optional<TeardownState> tear_;
 
   CoordinatorState coord_;
+  graph::ViewDelta* journal_ = nullptr;  ///< borrowed; see set_view_journal
+  unsigned walk_jobs_ = 1;
   std::uint64_t cycle_epoch_ = 0;
   std::uint64_t inflations_ = 0;
   std::uint64_t deflations_ = 0;

@@ -180,6 +180,7 @@ void DexNetwork::maybe_trigger_staggered() {
 
 void DexNetwork::start_staggered(bool inflate) {
   DEX_ASSERT(!staggered_active());
+  journal_full();  // the view journal stays coarse for the whole window
   const std::uint64_t p_old = map_.p();
   build_.emplace();
   BuildState& b = *build_;
@@ -211,8 +212,10 @@ void DexNetwork::start_staggered(bool inflate) {
 
 void DexNetwork::advance_staggered() {
   if (build_) {
+    journal_full();  // group activation rewires many rows; don't itemize
     advance_build();
   } else if (tear_) {
+    journal_full();
     advance_teardown();
   }
 }

@@ -19,7 +19,10 @@ BatchOutcome DexOverlay::apply(const ChurnBatch& batch) {
   ++topo_gen_;
   if (parallel_batches_ && batch.size() > 1) {
     dex::BatchRequest req{batch.attach_to, batch.victims};
-    if (dex::batch_feasible(net_, req)) {
+    // The runner's maintained CSR (when wired and current) turns the
+    // feasibility connectivity BFS into a flat-array walk — no snapshot,
+    // no per-node port materialization.
+    if (dex::batch_feasible(net_, req, live_view())) {
       const dex::BatchResult res =
           dex::apply_batch(net_, req, /*prevalidated=*/true);
       BatchOutcome out;

@@ -31,6 +31,7 @@
 #include "baselines/law_siu.h"
 #include "baselines/random_flip.h"
 #include "dex/network.h"
+#include "graph/csr.h"
 #include "graph/multigraph.h"
 #include "sim/churn.h"
 #include "sim/meters.h"
@@ -100,12 +101,26 @@ class HealingOverlay {
   /// graph-maintained baselines.
   [[nodiscard]] virtual std::size_t load(NodeId u) const = 0;
 
-  /// Max degree in the real topology. Default scans a snapshot; backends
-  /// with a cheap accessor override it (the runner calls this every step
-  /// when ScenarioSpec::measure_degree is on).
+  /// Max degree in the real topology. Default prefers the live-ports
+  /// surface — one reused buffer, no Multigraph materialization — and only
+  /// falls back to a snapshot scan for overlays without it (the runner
+  /// calls this every step when ScenarioSpec::measure_degree is on).
+  /// live_ports row sizes equal snapshot degrees by contract, so the two
+  /// paths report the same number.
   [[nodiscard]] virtual std::size_t max_degree() const {
-    const auto g = snapshot();
+    std::vector<NodeId> buf;
     std::size_t best = 0;
+    bool live = true;
+    for (auto u : alive_nodes()) {
+      if (!live_ports(u, buf)) {
+        live = false;
+        break;
+      }
+      best = std::max(best, buf.size());
+    }
+    if (live) return best;
+    best = 0;
+    const auto g = snapshot();
     for (auto u : alive_nodes()) best = std::max(best, g.degree(u));
     return best;
   }
@@ -145,6 +160,47 @@ class HealingOverlay {
 
   // ----- optional capabilities -----
 
+  /// Fills `out` with the live neighbors of alive node `u` in the overlay's
+  /// own canonical order and returns true, or returns false when the
+  /// backend has no cheap adjacency surface (callers then fall back to
+  /// snapshot()). The emitted multiset always equals the snapshot degree
+  /// convention; the *order* may differ from Multigraph port order, so a
+  /// CsrView must stick with whichever enumerator built it (sim::CachedView
+  /// tracks this). May be temporarily unavailable — DexNetwork says no
+  /// during staggered rebuild windows — so the capability is per-call, not
+  /// per-type.
+  [[nodiscard]] virtual bool live_ports(NodeId u,
+                                        std::vector<NodeId>& out) const {
+    (void)u;
+    (void)out;
+    return false;
+  }
+
+  /// Moves the ids touched since the previous drain into `out` and returns
+  /// true; returns false when the backend keeps no journal (callers must
+  /// then rebuild their views from scratch each step). The first successful
+  /// drain installs the journal and reports a full delta — history before
+  /// tracking started is unknown. Logically const: draining changes no
+  /// observable topology, only the observer bookkeeping.
+  [[nodiscard]] virtual bool drain_view_delta(graph::ViewDelta& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Number of threads the overlay may use *inside* one churn step (walk
+  /// port enumeration; see sim/token_engine.h). Results are byte-identical
+  /// for every value — this is purely a wall-clock knob. Default: ignored.
+  virtual void set_intra_jobs(unsigned jobs) { (void)jobs; }
+
+  /// Wires a provider of the caller's maintained live CSR (CachedView's,
+  /// refreshed lazily). Overlays with view-dependent fast paths — DEX's
+  /// batch precondition connectivity check — consult it through live_view()
+  /// instead of materializing snapshots; nullptr (or no provider) means
+  /// "derive from the snapshot as before".
+  void set_live_view_provider(std::function<const graph::CsrView*()> p) {
+    live_view_provider_ = std::move(p);
+  }
+
   /// Whether snapshot_without() below is an exact post-healing oracle.
   [[nodiscard]] virtual bool has_removal_oracle() const { return false; }
 
@@ -164,6 +220,16 @@ class HealingOverlay {
 
   /// Heavy structural audit; aborts on violation. Default: no-op.
   virtual void check_invariants() const {}
+
+ protected:
+  /// The caller-maintained live CSR, or nullptr when none is wired (or the
+  /// provider currently has nothing valid to offer).
+  [[nodiscard]] const graph::CsrView* live_view() const {
+    return live_view_provider_ ? live_view_provider_() : nullptr;
+  }
+
+ private:
+  std::function<const graph::CsrView*()> live_view_provider_;
 };
 
 /// The one AdversaryView builder (replaces the per-backend view_of()
@@ -242,6 +308,44 @@ class OverlayAdapter : public HealingOverlay {
     }
   }
 
+  [[nodiscard]] bool live_ports(NodeId u,
+                                std::vector<NodeId>& out) const override {
+    if constexpr (requires(const Net& n) { n.live_ports(u, out); }) {
+      return net_.live_ports(u, out);
+    } else {
+      return false;
+    }
+  }
+
+  /// Generic journal plumbing: networks that accept a set_view_journal
+  /// pointer get delta tracking for free. The adapter owns the journal and
+  /// ping-pongs it with the caller's buffer on each drain, so steady state
+  /// allocates nothing. Installing the journal is observer bookkeeping on a
+  /// mutable member — topology is untouched — hence the const_cast.
+  [[nodiscard]] bool drain_view_delta(graph::ViewDelta& out) const override {
+    if constexpr (requires(Net& n, graph::ViewDelta* j) {
+                    n.set_view_journal(j);
+                  }) {
+      if (!tracking_) {
+        tracking_ = true;
+        const_cast<Net&>(net_).set_view_journal(&journal_);
+        out.mark_full();
+        return true;
+      }
+      std::swap(out, journal_);
+      journal_.clear();
+      return true;
+    } else {
+      return false;
+    }
+  }
+
+  void set_intra_jobs(unsigned jobs) override {
+    if constexpr (requires(Net& n) { n.set_walk_jobs(jobs); }) {
+      net_.set_walk_jobs(jobs);
+    }
+  }
+
   [[nodiscard]] Net& net() { return net_; }
   [[nodiscard]] const Net& net() const { return net_; }
 
@@ -251,6 +355,8 @@ class OverlayAdapter : public HealingOverlay {
       : net_(std::forward<Args>(args)...) {}
 
   Net net_;
+  mutable graph::ViewDelta journal_;
+  mutable bool tracking_ = false;
 };
 
 class DexOverlay final : public OverlayAdapter<DexNetwork> {
@@ -377,15 +483,9 @@ class XhealOverlay final : public OverlayAdapter<xheal::XhealNetwork> {
   [[nodiscard]] std::size_t load(NodeId u) const override {
     return net_.graph().degree(u);
   }
-  /// Scans the live graph by const reference — no snapshot copy (the base
-  /// falls back to the snapshotting default because XhealNetwork has no
-  /// max_degree accessor).
-  [[nodiscard]] std::size_t max_degree() const override {
-    const auto& g = net_.graph();
-    std::size_t best = 0;
-    for (auto u : net_.alive_nodes()) best = std::max(best, g.degree(u));
-    return best;
-  }
+  // max_degree: the base default scans via XhealNetwork::live_ports — the
+  // graph by const reference, no snapshot copy (this adapter used to carry
+  // a bespoke override for exactly that).
 };
 
 /// Backend factory keyed by the names the CLI exposes: "dex-amortized",

@@ -1,6 +1,8 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <unordered_set>
 #include <utility>
 
@@ -14,6 +16,13 @@ namespace dex::sim {
 
 CachedView::CachedView(const HealingOverlay& overlay)
     : overlay_(overlay), view_(make_view(overlay)) {
+  ports_fn_ = [this](graph::NodeId u, std::vector<graph::NodeId>& out) {
+    const bool ok = overlay_.live_ports(u, out);
+    // Callers probe the capability before choosing this enumerator, and a
+    // precise journal delta implies the overlay is in a calm (enumerable)
+    // state — see the staggered full-marks in dex/staggered.cpp.
+    DEX_ASSERT_MSG(ok, "live_ports withdrawn mid-build");
+  };
   // Start from the canonical make_view wiring and overwrite only the three
   // expensive components with memoizing versions.
   view_.alive_nodes = [this] {
@@ -30,11 +39,32 @@ CachedView::CachedView(const HealingOverlay& overlay)
   };
   view_.live_csr = [this]() -> const graph::CsrView& {
     if (!csr_valid_) {
-      // Built from the memoized snapshot + mask, so the Multigraph itself
-      // still materializes at most once per step whoever asks first.
-      if (!snapshot_) snapshot_ = overlay_.snapshot();
       if (!mask_) mask_ = overlay_.alive_mask();
-      csr_.build(*snapshot_, *mask_);
+      // Prefer the overlay's own row enumerator: rows come out in the same
+      // order apply_delta() re-derives them, so later advance() calls can
+      // patch this build in place instead of discarding it. The capability
+      // is probed per build (DEX withdraws it during staggered windows).
+      bool ports_ok = false;
+      {
+        std::vector<graph::NodeId> probe;
+        for (graph::NodeId u = 0; u < mask_->size(); ++u) {
+          if ((*mask_)[u]) {
+            ports_ok = overlay_.live_ports(u, probe);
+            break;
+          }
+        }
+      }
+      if (ports_ok) {
+        csr_.build_from_ports(*mask_, ports_fn_);
+        csr_ports_canonical_ = true;
+      } else {
+        // Fallback: materialize the Multigraph (memoized, so whoever asks
+        // first pays it at most once per step). Rows land in snapshot port
+        // order — a valid view, but not patchable.
+        if (!snapshot_) snapshot_ = overlay_.snapshot();
+        csr_.build(*snapshot_, *mask_);
+        csr_ports_canonical_ = false;
+      }
       csr_valid_ = true;
     }
     return csr_;
@@ -46,6 +76,36 @@ void CachedView::invalidate() {
   snapshot_.reset();
   mask_.reset();
   csr_valid_ = false;
+}
+
+void CachedView::advance() {
+  nodes_.reset();
+  snapshot_.reset();
+  mask_.reset();
+  delta_.clear();
+  // Always drain — even when the standing CSR is unpatchable — so the
+  // journal never carries deltas across a rebuild boundary. The first drain
+  // also installs the journal on the overlay (and reports "full" for the
+  // untracked history before it).
+  const bool drained = overlay_.drain_view_delta(delta_);
+  if (!drained || delta_.full || !csr_valid_ || !csr_ports_canonical_) {
+    // No journal, coarse delta, or a snapshot-ordered view: fall back to
+    // the lazy from-scratch rebuild on next use.
+    csr_valid_ = false;
+  } else if (!delta_.empty()) {
+    csr_.apply_delta(delta_, ports_fn_);
+  }
+  // Opt-in cross-check: DEX_CHECK_CSR=1 rebuilds a reference view after
+  // every patch and asserts semantic equality (tests and debugging; the
+  // rebuild obviously forfeits the incremental speedup).
+  static const bool check_csr = std::getenv("DEX_CHECK_CSR") != nullptr;
+  if (check_csr && csr_valid_) {
+    if (!mask_) mask_ = overlay_.alive_mask();
+    graph::CsrView ref;
+    ref.build_from_ports(*mask_, ports_fn_);
+    DEX_ASSERT_MSG(csr_.equal_to(ref),
+                   "incremental CSR diverged from a fresh rebuild");
+  }
 }
 
 // --------------------------------------------------------- ScenarioRunner
@@ -143,6 +203,27 @@ ScenarioResult ScenarioRunner::run() {
 
   CachedView cache(overlay_);
   const adversary::AdversaryView& view = cache.view();
+  // Lend the maintained CSR back to the overlay for opportunistic reads
+  // (batch preflight connectivity probes). The provider outlives nothing:
+  // the guard detaches it before `cache` dies, exceptions included.
+  overlay_.set_live_view_provider(
+      [&cache] { return cache.live_csr_if_valid(); });
+  struct ProviderGuard {
+    HealingOverlay& overlay;
+    ~ProviderGuard() { overlay.set_live_view_provider({}); }
+  } provider_guard{overlay_};
+
+  using Clock = std::chrono::steady_clock;
+  const bool timing = spec_.time_phases;
+  Clock::time_point mark;
+  const auto tic = [&] {
+    if (timing) mark = Clock::now();
+  };
+  const auto toc = [&](double& acc) {
+    if (timing)
+      acc += std::chrono::duration<double, std::micro>(Clock::now() - mark)
+                 .count();
+  };
 
   // The traffic engine's RNG is salted off the spec seed, so serving
   // requests never perturbs the adversary stream: the same spec with
@@ -164,7 +245,7 @@ ScenarioResult ScenarioRunner::run() {
     for (std::size_t t = 0; t < spec_.warmup_steps; ++t) {
       StepRecord scratch;
       apply_action(overlay_, warmup.next(view, rng, min_n, max_n), scratch);
-      cache.invalidate();
+      cache.advance();
     }
   }
 
@@ -199,14 +280,20 @@ ScenarioResult ScenarioRunner::run() {
     }
     // The hotspot workload notes the region about to churn (adjacency from
     // its own cached pre-churn topology).
-    if (traffic) traffic->observe_churn(batch);
+    if (traffic) traffic->observe_churn(batch, view);
+    tic();
     const BatchOutcome out = apply_batch_step(overlay_, batch, rec);
-    cache.invalidate();
+    toc(result.churn_us);
+    tic();
+    cache.advance();
+    toc(result.view_us);
     if (want > 1 && out.parallel) ++result.parallel_steps;
 
     rec.n = overlay_.n();
     if (traffic) {
+      tic();
       const TrafficStepStats ts = traffic->step(view);
+      toc(result.traffic_us);
       rec.ops = ts.ops;
       rec.op_hops = ts.op_hops;
       rec.opt_hops = ts.opt_hops;
@@ -246,9 +333,10 @@ ScenarioResult ScenarioRunner::run() {
 
     if (observer_) {
       observer_(rec, overlay_);
-      // The observer holds a mutable overlay reference; drop any cached
-      // view components so the next strategy decision sees its effects.
-      cache.invalidate();
+      // The observer holds a mutable overlay reference; advance (not plain
+      // invalidate) so its mutations drain from the journal rather than
+      // leaking into the next step's delta against a rebuilt base.
+      cache.advance();
     }
     if (spec_.record_trace) result.trace.push_back(rec);
   }

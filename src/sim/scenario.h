@@ -65,6 +65,11 @@ struct ScenarioSpec {
   /// Disabled by default (traffic.workload empty); the request stream uses
   /// its own RNG, so enabling it replays the same churn byte-for-byte.
   TrafficSpec traffic;
+  /// Accumulate wall-clock phase totals (churn/view-maintenance/traffic)
+  /// into the result. Off by default: the totals never appear in traces or
+  /// summary JSON (the determinism contract covers bytes, not wall time),
+  /// but benches (bench_scale) read them to attribute per-step cost.
+  bool time_phases = false;
   /// Free-form scenario/strategy label identifying the workload in the
   /// emitted summary. The summary records every ScenarioSpec parameter;
   /// strategy-internal knobs (a Strategy is an opaque object) are the
@@ -157,15 +162,35 @@ struct ScenarioResult {
   std::size_t total_failed_writes = 0;
   std::size_t total_moved_keys = 0;
   std::uint64_t total_rehash_messages = 0;
+  /// Wall-clock phase totals in microseconds, summed over the measured
+  /// steps; all 0 unless spec.time_phases. Deliberately absent from
+  /// trace_csv/summary_json so timing can never perturb byte-identity.
+  double churn_us = 0.0;    ///< strategy decision + overlay apply (healing)
+  double view_us = 0.0;     ///< CachedView::advance — journal drain + patch
+  double traffic_us = 0.0;  ///< key re-homing + request serving
 };
 
 /// AdversaryView over an overlay whose expensive components (alive_nodes,
 /// snapshot, alive_mask) are materialized at most once per step, however
 /// many times the strategy consults them. Also the home of the per-step
-/// flat CSR snapshot (graph/csr.h): the view's live_csr component builds it
-/// lazily from the cached snapshot + mask — once per step — and the traffic
-/// layer's route/placement oracle reads it by reference. Call invalidate()
-/// after every mutation of the overlay.
+/// flat CSR view (graph/csr.h) the traffic layer's route/placement oracle
+/// reads by reference (object identity is stable across steps, so borrowed
+/// pointers stay valid).
+///
+/// Two maintenance modes per step boundary:
+///
+///  * invalidate() — drop everything; the CSR lazily rebuilds from scratch
+///    on next use. Always correct; O(n + m) per step.
+///  * advance() — drain the overlay's churn journal
+///    (HealingOverlay::drain_view_delta) and *patch* the CSR in place when
+///    the delta is precise, paying per-step cost proportional to the churn
+///    delta instead of the population. Falls back to a rebuild whenever the
+///    journal is absent/full or the standing CSR is not patchable (a view
+///    built from a snapshot is in Multigraph port order, not the overlay's
+///    live_ports order — patching it would interleave the two canonical
+///    orders, so csr_ports_canonical_ tracks which enumerator built it).
+///    With DEX_CHECK_CSR=1 in the environment every advance() additionally
+///    rebuilds a reference view and asserts semantic equality.
 class CachedView {
  public:
   explicit CachedView(const HealingOverlay& overlay);
@@ -177,6 +202,16 @@ class CachedView {
 
   [[nodiscard]] const adversary::AdversaryView& view() const { return view_; }
   void invalidate();
+  /// invalidate(), except the CSR survives via journal patching when the
+  /// overlay supports it. Call at (and only at) churn-step boundaries —
+  /// the journal delta spans everything since the previous drain.
+  void advance();
+  /// The maintained CSR when it is current, else nullptr. Never triggers a
+  /// build — this feeds HealingOverlay::set_live_view_provider, whose
+  /// consumers (batch preflight) want an opportunistic read, not a charge.
+  [[nodiscard]] const graph::CsrView* live_csr_if_valid() const {
+    return csr_valid_ ? &csr_ : nullptr;
+  }
 
  private:
   const HealingOverlay& overlay_;
@@ -188,6 +223,13 @@ class CachedView {
   // the flag alone tracks staleness.
   mutable graph::CsrView csr_;
   mutable bool csr_valid_ = false;
+  /// Whether csr_ rows are in live_ports order (patchable) rather than
+  /// Multigraph snapshot order (rebuild-only).
+  mutable bool csr_ports_canonical_ = false;
+  /// Row enumerator handed to build_from_ports/apply_delta; asserts the
+  /// overlay's live_ports capability (callers only use it after probing).
+  graph::CsrView::PortsFn ports_fn_;
+  graph::ViewDelta delta_;  ///< drain buffer (ping-pongs with the journal)
 };
 
 class ScenarioRunner {

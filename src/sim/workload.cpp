@@ -35,33 +35,34 @@ bool candidate_better(NodeId node, std::uint64_t score, NodeId than_node,
 KvStore::KvStore(const HealingOverlay& overlay) : overlay_(overlay) {}
 
 void KvStore::merge_candidate(Placement& pl, Candidate c) {
-  if (pl.top.size() == kHomeCandidates &&
-      !candidate_better(c.node, c.score, pl.top.back().node,
-                        pl.top.back().score)) {
+  if (pl.count == kHomeCandidates &&
+      !candidate_better(c.node, c.score, pl.top[kHomeCandidates - 1].node,
+                        pl.top[kHomeCandidates - 1].score)) {
     // Skipped: c joins the non-members, so it raises the floor.
     pl.floor = std::max(pl.floor, c.score);
     return;
   }
   // Insert in (score desc, id asc) order; expected O(1) amortized — a
   // random stream rarely beats the current K-th best.
-  auto it = pl.top.begin();
-  while (it != pl.top.end() &&
-         candidate_better(it->node, it->score, c.node, c.score)) {
-    ++it;
-  }
-  pl.top.insert(it, c);
-  if (pl.top.size() > kHomeCandidates) {
+  std::size_t i = pl.count;
+  if (i == kHomeCandidates) {
     // The truncated minimum becomes a non-member too.
-    pl.floor = std::max(pl.floor, pl.top.back().score);
-    pl.top.pop_back();
+    pl.floor = std::max(pl.floor, pl.top[kHomeCandidates - 1].score);
+    --i;
   }
+  while (i > 0 && !candidate_better(pl.top[i - 1].node, pl.top[i - 1].score,
+                                    c.node, c.score)) {
+    pl.top[i] = pl.top[i - 1];
+    --i;
+  }
+  pl.top[i] = c;
+  if (pl.count < kHomeCandidates) ++pl.count;
 }
 
 KvStore::Placement KvStore::scan_candidates(std::uint64_t key) const {
   DEX_ASSERT_MSG(!alive_.empty(), "KvStore over an empty overlay");
   const std::uint64_t kh = support::mix64(key);
   Placement pl;
-  pl.top.reserve(kHomeCandidates);
   for (const NodeId u : alive_) {
     merge_candidate(pl, Candidate{u, hrw_score(kh, u)});
   }
@@ -69,7 +70,7 @@ KvStore::Placement KvStore::scan_candidates(std::uint64_t key) const {
 }
 
 NodeId KvStore::resolve_origin(NodeId origin) const {
-  if (origin != kInvalidNode && csr_.alive(origin)) return origin;
+  if (origin != kInvalidNode && csr_->alive(origin)) return origin;
   return alive_[support::mix64(origin) % alive_.size()];
 }
 
@@ -84,7 +85,7 @@ bool KvStore::route_op(NodeId origin, NodeId home, OpResult& out) {
     out.optimal_hops = d;
     return true;
   }
-  const auto path = overlay_.route(origin, home, csr_);
+  const auto path = overlay_.route(origin, home, *csr_);
   if (path.empty()) return false;
   out.hops = static_cast<std::uint64_t>(path.size() - 1);
   const std::uint32_t d = oracle_.distance(origin, home);
@@ -93,25 +94,28 @@ bool KvStore::route_op(NodeId origin, NodeId home, OpResult& out) {
 }
 
 KvStore::SyncStats KvStore::sync(const adversary::AdversaryView& view) {
-  // One flat CSR per step: borrowed (copy-assigned, flat memcpys) from the
-  // caching view when available, rebuilt from a snapshot otherwise.
+  // One flat CSR per step: borrowed *by reference* from the caching view
+  // when available (the runner's CachedView maintains it incrementally and
+  // its object identity is stable across steps — no copy at all), rebuilt
+  // into the store's own buffer otherwise.
   if (view.live_csr) {
-    csr_ = view.live_csr();
+    csr_ = &view.live_csr();
   } else {
     const auto g = view.snapshot();
-    csr_.build(g, view.alive_mask());
+    own_csr_.build(g, view.alive_mask());
+    csr_ = &own_csr_;
   }
-  oracle_.attach(csr_);
+  oracle_.attach(*csr_);
 
   // Membership delta + fresh sorted alive set in one ascending bitmap walk
   // against the previous (sorted) alive list — no per-step sort.
   added_scratch_.clear();
   alive_scratch_.clear();
-  alive_scratch_.reserve(csr_.alive_count());
+  alive_scratch_.reserve(csr_->alive_count());
   {
     std::size_t i = 0;
-    for (NodeId u = 0; u < csr_.node_count(); ++u) {
-      if (!csr_.alive(u)) continue;
+    for (NodeId u = 0; u < csr_->node_count(); ++u) {
+      if (!csr_->alive(u)) continue;
       alive_scratch_.push_back(u);
       while (i < alive_.size() && alive_[i] < u) ++i;
       if (i < alive_.size() && alive_[i] == u) {
@@ -150,11 +154,18 @@ KvStore::SyncStats KvStore::sync(const adversary::AdversaryView& view) {
     }
     // Promote the best surviving candidate. Exact as long as it clears the
     // floor — otherwise a node pushed out of the list earlier could be the
-    // true winner, and only a rescan of the alive set can tell.
-    while (!pl.top.empty() && !csr_.alive(pl.top.front().node)) {
-      pl.top.erase(pl.top.begin());
+    // true winner, and only a rescan of the alive set can tell. (Only the
+    // leading dead entries are pruned, matching the historical vector
+    // behavior; deeper dead entries fall out when they surface.)
+    std::uint32_t lead = 0;
+    while (lead < pl.count && !csr_->alive(pl.top[lead].node)) ++lead;
+    if (lead > 0) {
+      for (std::uint32_t i = lead; i < pl.count; ++i) {
+        pl.top[i - lead] = pl.top[i];
+      }
+      pl.count -= lead;
     }
-    if (pl.top.empty() || pl.top.front().score < pl.floor) {
+    if (pl.count == 0 || pl.top[0].score < pl.floor) {
       pl = scan_candidates(key);
     }
     if (pl.home() != old_home) moves.push_back({key, old_home, pl.home()});
@@ -177,7 +188,7 @@ KvStore::SyncStats KvStore::sync(const adversary::AdversaryView& view) {
         reach.count ? reach.sum / reach.count : 1, 1);
     for (; i < moves.size() && moves[i].to == to; ++i) {
       const NodeId from = moves[i].from;
-      const bool from_alive = csr_.alive(from);
+      const bool from_alive = csr_->alive(from);
       out.messages += from_alive && dist[from] != graph::kUnreached
                           ? dist[from]
                           : mean;
@@ -242,7 +253,7 @@ std::vector<std::uint64_t> KvStore::keys_at(
     const std::vector<NodeId>& homes) const {
   std::vector<std::uint64_t> out;
   if (homes.empty() || placed_.empty()) return out;
-  std::vector<bool> wanted(csr_.node_count(), false);
+  std::vector<bool> wanted(csr_->node_count(), false);
   for (const NodeId h : homes) {
     if (h < wanted.size()) wanted[h] = true;
   }
@@ -313,20 +324,24 @@ std::uint64_t TrafficEngine::pick_key() {
   return static_cast<std::uint64_t>(it - zipf_cdf_.begin());
 }
 
-void TrafficEngine::observe_churn(const ChurnBatch& batch) {
+void TrafficEngine::observe_churn(const ChurnBatch& batch,
+                                  const adversary::AdversaryView& view) {
   if (spec_.workload != "hotspot") return;
   // The region about to churn: every attach point plus every victim's
   // current neighborhood (the victims themselves will be gone by the time
   // requests fire; their neighbors inherit the turbulence). Adjacency comes
-  // from the store's cached live view — frozen since the last sync, i.e.
-  // exactly the pre-churn view — not from a fresh snapshot copy. Before the
-  // first sync there is nothing cached and no key placed, so there is no
-  // region worth capturing either.
+  // from the runner's maintained CSR — not yet advanced past this batch, so
+  // exactly the pre-churn view — never from a fresh snapshot copy. Bare
+  // views without live_csr fall back to the store's cached copy, which is
+  // absent before the first sync (and no key is placed by then, so there is
+  // no region worth capturing either).
   std::vector<NodeId> region = batch.attach_to;
-  if (!batch.victims.empty() && kv_.synced()) {
-    const auto& g = kv_.live_view();
+  const graph::CsrView* g = view.live_csr      ? &view.live_csr()
+                            : kv_.synced()     ? &kv_.live_view()
+                                               : nullptr;
+  if (!batch.victims.empty() && g != nullptr) {
     for (const NodeId v : batch.victims) {
-      for (const NodeId u : g.neighbors(v)) region.push_back(u);
+      for (const NodeId u : g->neighbors(v)) region.push_back(u);
     }
   }
   std::sort(region.begin(), region.end());
@@ -349,7 +364,10 @@ TrafficStepStats TrafficEngine::step(const adversary::AdversaryView& view) {
     hot_keys_.erase(std::unique(hot_keys_.begin(), hot_keys_.end()),
                     hot_keys_.end());
   }
-  const auto nodes = view.alive_nodes();
+  // The origin pool is the store's ascending alive list — identical content
+  // to view.alive_nodes() (every backend scans ids ascending), minus the
+  // per-step vector copy that call would hand back.
+  const auto& nodes = kv_.alive();
   DEX_ASSERT(!nodes.empty());
   for (std::size_t i = 0; i < spec_.ops_per_step; ++i) {
     const std::uint64_t key = pick_key();

@@ -40,6 +40,7 @@
 /// overlay surface and the AdversaryView, while ScenarioSpec embeds
 /// TrafficSpec — so it must not depend on scenario.h.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -52,6 +53,7 @@
 #include "sim/churn.h"
 #include "sim/oracle.h"
 #include "sim/overlay.h"
+#include "support/assert.h"
 #include "support/prng.h"
 
 namespace dex::sim {
@@ -192,10 +194,20 @@ class KvStore {
   /// Whether sync() has run at least once (operations require it).
   [[nodiscard]] bool synced() const { return synced_; }
 
-  /// The live view cached by the last sync() — frozen between churn steps,
-  /// so callers needing adjacency (the hotspot generator) read it by
-  /// reference instead of copying a fresh snapshot.
-  [[nodiscard]] const graph::CsrView& live_view() const { return csr_; }
+  /// The live view adopted by the last sync() — borrowed straight from the
+  /// runner's maintained CSR when the view exposes live_csr (zero copies;
+  /// the CachedView's object identity is stable across steps), otherwise
+  /// the store's own rebuild. Requires a prior sync().
+  [[nodiscard]] const graph::CsrView& live_view() const {
+    DEX_ASSERT(csr_ != nullptr);
+    return *csr_;
+  }
+
+  /// The ascending alive-node list maintained by sync() — the same content
+  /// view.alive_nodes() would return, without the per-step copy.
+  [[nodiscard]] const std::vector<graph::NodeId>& alive() const {
+    return alive_;
+  }
 
   [[nodiscard]] std::size_t moved_total() const { return moved_total_; }
   [[nodiscard]] std::uint64_t rehash_messages_total() const {
@@ -217,11 +229,14 @@ class KvStore {
   /// scanned past, skipped, or truncated out), so the first entry is the
   /// exact alive argmax whenever its score clears the floor — and sync()
   /// rescans when it does not, which is the only way a pushed-out node
-  /// could have become the winner again.
+  /// could have become the winner again. Inline fixed-capacity array: one
+  /// Placement per stored key, so a heap vector here is an allocation per
+  /// key and a pointer chase per placement read.
   struct Placement {
-    std::vector<Candidate> top;
+    std::array<Candidate, kHomeCandidates> top{};
+    std::uint32_t count = 0;
     std::uint64_t floor = 0;
-    [[nodiscard]] graph::NodeId home() const { return top.front().node; }
+    [[nodiscard]] graph::NodeId home() const { return top[0].node; }
   };
 
   [[nodiscard]] Placement scan_candidates(std::uint64_t key) const;
@@ -231,7 +246,10 @@ class KvStore {
   bool route_op(graph::NodeId origin, graph::NodeId home, OpResult& out);
 
   const HealingOverlay& overlay_;
-  graph::CsrView csr_;
+  /// The step's live view: points at the runner's maintained CSR when the
+  /// AdversaryView lends one (live_csr), else at own_csr_. Reset by sync().
+  const graph::CsrView* csr_ = nullptr;
+  graph::CsrView own_csr_;  ///< fallback build for views without live_csr
   DistanceOracle oracle_;
   std::vector<graph::NodeId> alive_;  ///< ascending; maintained by sync()
   bool synced_ = false;
@@ -255,7 +273,11 @@ class TrafficEngine {
   TrafficEngine(const HealingOverlay& overlay, TrafficSpec spec,
                 std::uint64_t trial_seed);
 
-  void observe_churn(const ChurnBatch& batch);
+  /// `view` supplies pre-churn adjacency for the hotspot generator's region
+  /// capture (the runner's maintained CSR — not yet advanced past this
+  /// batch); the store's own cached view is the fallback for bare views.
+  void observe_churn(const ChurnBatch& batch,
+                     const adversary::AdversaryView& view);
 
   TrafficStepStats step(const adversary::AdversaryView& view);
 

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file worker_pool.h
+/// parallel_for — the one intra-trial parallelism primitive. The token
+/// engine's port enumeration (sim/token_engine.h) is embarrassingly
+/// parallel within a round; everything stateful (RNG draws, congestion,
+/// accepts) stays sequential, so the parallel part can be a plain
+/// fork-join: spawn jobs-1 transient threads, share the index range
+/// through an atomic chunk cursor, and have the caller work too.
+///
+/// Transient threads keep the primitive composable with the trial-level
+/// Executor (sim/experiment.h): no shared pool state, no lifetime
+/// entanglement — a trial running on an Executor worker can fan out its
+/// own walks under the same overall --jobs budget. Spawn cost (~10µs per
+/// thread) is irrelevant against the walk epochs it shards, and the
+/// small-range cutoff below skips the fan-out entirely where it could
+/// matter. Determinism: the function only decides *who* computes each
+/// index, never *what* — results are positionally identical to the serial
+/// loop for every jobs value.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace dex::support {
+
+/// Invokes body(i) for every i in [0, count), sharded over `jobs` threads
+/// (the calling thread included). body must be safe to call concurrently
+/// for distinct indices. Serial when jobs <= 1 or the range is too small
+/// to amortize the spawns — callers must not encode semantics in the
+/// execution mode (and cannot: the index->result mapping is identical).
+template <typename Body>
+void parallel_for(std::size_t count, unsigned jobs, const Body& body) {
+  constexpr std::size_t kSerialCutoff = 256;
+  constexpr std::size_t kChunk = 64;
+  if (jobs <= 1 || count < kSerialCutoff) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs, (count + kChunk - 1) / kChunk));
+  std::atomic<std::size_t> next{0};
+  const auto run = [&] {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(kChunk);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + kChunk, count);
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(run);
+  run();
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace dex::support

@@ -32,9 +32,11 @@ NodeId XhealNetwork::insert(const std::vector<NodeId>& attach_to) {
   alive_.push_back(true);
   overhead_.push_back(0);
   ++n_alive_;
+  if (journal_ && !journal_->full) journal_->born.push_back(u);
   for (NodeId a : attach_to) {
     DEX_ASSERT(alive(a));
     g_.add_edge(u, a);
+    if (journal_ && !journal_->full) journal_->dirty.push_back(a);
     meter_.add_topology(1);
     meter_.add_messages(1);
   }
@@ -58,6 +60,14 @@ void XhealNetwork::remove(NodeId victim) {
   g_.isolate(victim);
   alive_[victim] = false;
   --n_alive_;
+  if (journal_ && !journal_->full) {
+    journal_->died.push_back(victim);
+    // The heal below rewires only orphan rows; list them explicitly rather
+    // than leaning on the dead-row auto-touch (which only sees the last
+    // synced adjacency, not edges gained earlier in a multi-event step).
+    journal_->dirty.insert(journal_->dirty.end(), orphans.begin(),
+                           orphans.end());
+  }
   meter_.add_topology(orphans.size());
 
   heal_neighborhood(orphans);

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/multigraph.h"
 #include "sim/meters.h"
 #include "support/prng.h"
@@ -58,6 +59,19 @@ class XhealNetwork {
   [[nodiscard]] const sim::CostMeter& meter() const { return meter_; }
   [[nodiscard]] sim::StepCost last_step() const { return last_; }
 
+  /// Live neighbors of u: g_'s port list verbatim — deletions isolate their
+  /// victim, so the graph never holds an edge to a dead node and the row is
+  /// already live. Order equals Multigraph port order here (g_ *is* the
+  /// topology), making this backend's live view snapshot-canonical too.
+  [[nodiscard]] bool live_ports(NodeId u, std::vector<NodeId>& out) const {
+    const auto ps = g_.ports(u);
+    out.assign(ps.begin(), ps.end());
+    return true;
+  }
+
+  /// Churn journal for incremental CSR maintenance (graph/csr.h); borrowed.
+  void set_view_journal(graph::ViewDelta* j) { journal_ = j; }
+
   /// Healing-degree overhead of node u: edges added by patches minus edges
   /// lost to deletions (Xheal's degree-increase measure).
   [[nodiscard]] std::int64_t degree_overhead(NodeId u) const {
@@ -74,6 +88,7 @@ class XhealNetwork {
   std::vector<std::int64_t> overhead_;
   sim::CostMeter meter_;
   sim::StepCost last_;
+  graph::ViewDelta* journal_ = nullptr;
 };
 
 }  // namespace dex::xheal

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Perf regression gate over bench_scale's phase-timing rows.
+
+bench_scale appends "kind": "phase_timing" JSONL rows to BENCH_scale.json —
+one per timed single trial, carrying wall-clock us/op and per-phase us/step.
+This script compares them against the checked-in baseline
+(tools/perf_baseline.json) and fails when any configuration's us/op exceeds
+the baseline by more than the allowed factor (default 2x, absorbing normal
+CI-runner jitter; a hot-path regression is an order of magnitude).
+
+Baseline configurations absent from the bench output are skipped (CI runs a
+reduced max_n, so the large sizes only exist in full local runs); bench rows
+absent from the baseline are reported informationally so new configurations
+get pinned on the next baseline refresh.
+
+Usage: perf_guard.py BENCH_scale.json [baseline.json] [--factor F]
+"""
+
+import json
+import os
+import sys
+
+
+def load_phase_rows(path):
+    rows = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # not JSONL we own
+            if obj.get("kind") != "phase_timing":
+                continue
+            rows[(obj["backend"], int(obj["n0"]))] = obj
+    return rows
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    factor = 2.0
+    for a in argv[1:]:
+        if a.startswith("--factor"):
+            factor = float(a.split("=", 1)[1])
+    if not args:
+        print(__doc__.strip())
+        return 2
+    bench_path = args[0]
+    baseline_path = (
+        args[1]
+        if len(args) > 1
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "perf_baseline.json")
+    )
+
+    rows = load_phase_rows(bench_path)
+    if not rows:
+        print(f"perf_guard: no phase_timing rows in {bench_path}")
+        return 1
+    with open(baseline_path, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    failures = []
+    checked = 0
+    for entry in baseline["rows"]:
+        key = (entry["backend"], int(entry["n0"]))
+        row = rows.get(key)
+        if row is None:
+            continue  # reduced run: this size was not swept
+        checked += 1
+        base = float(entry["us_per_op"])
+        got = float(row["us_per_op"])
+        verdict = "ok"
+        if got > factor * base:
+            verdict = "REGRESSION"
+            failures.append(key)
+        print(
+            f"perf_guard: {key[0]:>14} n0={key[1]:<8} "
+            f"us/op {got:8.2f} vs baseline {base:8.2f} "
+            f"(allowed {factor * base:8.2f}) {verdict}"
+        )
+
+    for key in sorted(set(rows) - {(e["backend"], int(e["n0"]))
+                                   for e in baseline["rows"]}):
+        print(f"perf_guard: note: {key[0]} n0={key[1]} has no baseline pin")
+
+    if checked == 0:
+        print("perf_guard: no baseline configuration matched the bench run")
+        return 1
+    if failures:
+        print(f"perf_guard: FAIL — {len(failures)} configuration(s) regressed "
+              f">{factor}x")
+        return 1
+    print(f"perf_guard: OK — {checked} configuration(s) within {factor}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
