@@ -1,0 +1,149 @@
+// E13 — healing racing churn: the discrete-event core (sim/event/) swept
+// over message-loss rate x mean link latency. The sync engine's lockstep
+// fiction — every batch applies and fully heals before the next one is
+// drawn — is exactly what this bench relaxes: with uniform:A,B links each
+// churn batch is airborne for several ticks, later injections race it, and
+// a loss rate p turns each delivery into a geometric retransmit sequence.
+//
+// Per (loss, latency) cell the bench reports, from the same StepRecord
+// trace the CSV sinks see:
+//
+//  * recovery time — mean settle lag in ticks, mean(vtime - step*period):
+//    how long a churn batch stays in flight before the overlay has applied
+//    and re-healed it (the event-layer analogue of the paper's recovery
+//    rounds);
+//  * dropped deliveries — retransmits forced by loss, churn and traffic
+//    combined (ScenarioResult::total_dropped);
+//  * max in-flight — the deepest healing-racing-churn backlog any step saw;
+//  * failed ops — whether the routing contract survived the racing regime.
+//
+// Rows append to BENCH_async.json as "kind":"async_sweep" JSONL — the CI
+// bench-async job uploads that file as an artifact, so the loss/latency
+// response surface is archived per commit alongside BENCH_scale.json.
+//
+// Usage: bench_async [json_path]   (default BENCH_async.json)
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "metrics/table.h"
+#include "sim/event/event.h"
+#include "sim/experiment.h"
+
+using namespace dex;
+
+namespace {
+
+constexpr std::size_t kN0 = 512;
+constexpr std::size_t kSteps = 120;
+
+sim::ScenarioSpec base_spec(const char* latency, double loss) {
+  sim::ScenarioSpec spec;
+  spec.seed = 1;
+  spec.steps = kSteps;
+  spec.batch_size = 4;
+  spec.burst_every = 8;
+  spec.traffic.workload = "zipf";
+  spec.traffic.ops_per_step = 16;
+  spec.traffic.keyspace = 2048;
+  spec.event.enabled = true;
+  spec.event.latency = *sim::LatencyModel::parse(latency);
+  spec.event.loss_rate = loss;
+  return spec;
+}
+
+/// Mean settle lag in ticks over the trial's trace: how far behind its
+/// injection each step finalized. Zero in the lockstep limit by the
+/// sync-equivalence contract (tests/test_event_engine.cpp).
+double mean_settle_lag(const sim::ScenarioResult& res, std::uint64_t period) {
+  if (res.trace.empty()) return 0.0;
+  double lag = 0.0;
+  for (const auto& rec : res.trace) {
+    lag += static_cast<double>(rec.vtime - rec.step * period);
+  }
+  return lag / static_cast<double>(res.trace.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_async.json";
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+
+  std::printf("=== E13: healing racing churn — loss x latency sweep ===\n\n");
+
+  const std::vector<double> losses = {0.0, 0.05, 0.15};
+  const std::vector<const char*> latencies = {"fixed:0", "uniform:1,4",
+                                              "uniform:4,12", "exp:8"};
+  bool shape_ok = true;
+  for (const char* backend : {"dex-amortized", "lawsiu"}) {
+    std::printf("-- %s, n0=%zu, %zu steps, zipf traffic --\n\n", backend, kN0,
+                kSteps);
+    metrics::Table t({"latency", "loss", "recovery (ticks)", "dropped",
+                      "max in-flight", "failed ops", "hops/op"});
+    // Recovery time at loss 0 per latency model, to check loss adds on top.
+    double lossless_lag = 0.0;
+    for (const char* latency : latencies) {
+      for (const double loss : losses) {
+        const auto spec = base_spec(latency, loss);
+        auto overlay = sim::make_overlay(backend, kN0, sim::overlay_seed(1));
+        auto strategy = sim::make_strategy("churn");
+        sim::ScenarioRunner runner(*overlay, *strategy, spec);
+        const auto res = runner.run();
+
+        const double lag = mean_settle_lag(res, spec.event.period);
+        if (loss == 0.0) lossless_lag = lag;
+        const auto failed = res.total_failed_lookups + res.total_failed_writes;
+        t.add_row({latency, metrics::Table::num(loss, 2),
+                   metrics::Table::num(lag, 1),
+                   std::to_string(res.total_dropped),
+                   std::to_string(res.max_in_flight), std::to_string(failed),
+                   metrics::Table::num(bench::hops_per_op(res), 2)});
+
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "{\"kind\": \"async_sweep\", \"backend\": \"%s\", "
+            "\"n0\": %zu, \"steps\": %zu, \"latency\": \"%s\", "
+            "\"loss_rate\": %.2f, \"recovery_ticks\": %.2f, "
+            "\"dropped_deliveries\": %llu, \"max_in_flight\": %zu, "
+            "\"failed_ops\": %llu, \"hops_per_op\": %.2f}\n",
+            backend, kN0, kSteps, latency, loss, lag,
+            static_cast<unsigned long long>(res.total_dropped),
+            res.max_in_flight, static_cast<unsigned long long>(failed),
+            bench::hops_per_op(res));
+        json << buf;
+
+        // Shape: zero loss at zero latency is the lockstep limit (no lag,
+        // no drops); loss can only add retransmit delay on top of the
+        // lossless lag for the same latency model.
+        if (loss == 0.0 && std::string(latency) == "fixed:0") {
+          shape_ok = shape_ok && lag == 0.0 && res.total_dropped == 0;
+        }
+        if (loss > 0.0) {
+          shape_ok = shape_ok && res.total_dropped > 0 && lag >= lossless_lag;
+        }
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape check: %s. The fixed:0/loss-0 corner reproduces the lockstep\n"
+      "engine exactly (0 recovery ticks, 0 drops — the byte-equivalence the\n"
+      "tests pin); raising loss at fixed latency only adds retransmit delay,\n"
+      "so recovery ticks grow monotonically down each latency block while\n"
+      "failed ops stay within a handful out of ~2k served: healing keeps\n"
+      "winning the race against churn at these rates. Rows -> %s\n"
+      "(\"kind\": \"async_sweep\").\n",
+      shape_ok ? "OK" : "FAILED", json_path.c_str());
+  return shape_ok ? 0 : 1;
+}

@@ -32,6 +32,15 @@
 //            --ops-per-step=N --keys=K --zipf=S --read-frac=P
 //                             traffic knobs (requests/step, keyspace, zipf
 //                             exponent, read share)
+//            --engine=NAME    sync (lockstep rounds, default) or event
+//                             (deterministic discrete-event core with
+//                             latency/loss/stragglers, sim/event/)
+//            --latency=MODEL  per-message latency: fixed:T, uniform:A,B,
+//                             exp:MEAN (virtual ticks; event engine only)
+//            --loss=P --stragglers=F --straggler-factor=K --period=T
+//                             i.i.d. delivery loss, straggling-node
+//                             fraction and multiplier, ticks between
+//                             batch injections (event engine only)
 //            --sweep          expand the comma-list axes into a full grid
 //                             (backends x scenarios x n0s x batch sizes x
 //                             seeds) and prepend a trial column/field
@@ -169,6 +178,9 @@ void print_usage(std::FILE* out) {
       "                   [--batch-size=B,..] [--burst=K] [--no-trace]\n"
       "                   [--workload=NAME] [--ops-per-step=N] [--keys=K]\n"
       "                   [--zipf=S] [--read-frac=P]\n"
+      "                   [--engine=sync|event] [--latency=MODEL] [--loss=P]\n"
+      "                   [--stragglers=F] [--straggler-factor=K]\n"
+      "                   [--period=T]\n"
       "                   [--sweep] [--jobs=J] [--trial-jobs=J]\n"
       "                   [--csv=FILE] [--json=FILE]\n"
       "       dex_sim_cli [script-file]        (legacy scripted mode)\n"
@@ -193,6 +205,17 @@ void print_usage(std::FILE* out) {
       "failed_lookups/stretch/moved_keys/rehash_messages columns and the\n"
       "summary their totals.\n"
       "\n"
+      "--engine event runs the same trial through the deterministic\n"
+      "discrete-event core: churn constituents, walk settlement and KV\n"
+      "requests become timestamped deliveries under --latency (fixed:T,\n"
+      "uniform:A,B or exp:MEAN ticks), i.i.d. --loss (lost deliveries\n"
+      "retransmit and count in the dropped column), --stragglers fraction\n"
+      "of nodes at --straggler-factor x latency, and --period ticks between\n"
+      "batch injections — latency above the period makes healing race\n"
+      "churn. The trace gains vtime/in_flight/dropped columns; at\n"
+      "--latency fixed:0 --loss 0 the output byte-matches the sync engine,\n"
+      "and every --jobs/--trial-jobs value stays byte-identical.\n"
+      "\n"
       "--sweep expands comma-listed --backend/--scenario/--n0/--batch-size/\n"
       "--seed axes into a grid (--backend all = every backend) and runs the\n"
       "trials on --jobs threads; rows gain a leading trial column and the\n"
@@ -208,6 +231,7 @@ int run_scenario(int argc, char** argv) {
   ScenarioArgs a;
   a.spec.steps = 256;
   bool traffic_knob = false;
+  bool event_knob = false;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -262,6 +286,33 @@ int run_scenario(int argc, char** argv) {
       } else if (parse_flag(argc, argv, i, "read-frac", v)) {
         a.spec.traffic.read_fraction = parse_double(v);
         traffic_knob = true;
+      } else if (parse_flag(argc, argv, i, "engine", v)) {
+        if (v != "sync" && v != "event") {
+          throw std::invalid_argument("--engine must be sync or event, got '" +
+                                      v + "'");
+        }
+        a.spec.event.enabled = v == "event";
+      } else if (parse_flag(argc, argv, i, "latency", v)) {
+        const auto model = dex::sim::LatencyModel::parse(v);
+        if (!model) {
+          throw std::invalid_argument(
+              "--latency must be fixed:T, uniform:A,B or exp:MEAN, got '" + v +
+              "'");
+        }
+        a.spec.event.latency = *model;
+        event_knob = true;
+      } else if (parse_flag(argc, argv, i, "loss", v)) {
+        a.spec.event.loss_rate = parse_double(v);
+        event_knob = true;
+      } else if (parse_flag(argc, argv, i, "stragglers", v)) {
+        a.spec.event.straggler_fraction = parse_double(v);
+        event_knob = true;
+      } else if (parse_flag(argc, argv, i, "straggler-factor", v)) {
+        a.spec.event.straggler_factor = parse_u64(v);
+        event_knob = true;
+      } else if (parse_flag(argc, argv, i, "period", v)) {
+        a.spec.event.period = parse_u64(v);
+        event_knob = true;
       } else if (parse_flag(argc, argv, i, "jobs", v)) {
         a.jobs = parse_u64(v);
       } else if (parse_flag(argc, argv, i, "trial-jobs", v)) {
@@ -342,6 +393,20 @@ int run_scenario(int argc, char** argv) {
     std::fprintf(stderr,
                  "traffic flags (--ops-per-step/--keys/--zipf/--read-frac) "
                  "need --workload\n");
+    return 2;
+  }
+  if (a.spec.event.enabled) {
+    // Same predicate the engine asserts, surfaced as a usage error.
+    if (!a.spec.event.valid()) {
+      std::fprintf(stderr,
+                   "event spec out of range: --loss in [0, 1), --stragglers "
+                   "in [0, 1], --straggler-factor >= 1, --period >= 1\n");
+      return 2;
+    }
+  } else if (event_knob) {
+    std::fprintf(stderr,
+                 "event flags (--latency/--loss/--stragglers/"
+                 "--straggler-factor/--period) need --engine event\n");
     return 2;
   }
   if (a.spec.burst_every > 0 &&

@@ -1,0 +1,342 @@
+#include "sim/event/engine.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "graph/spectral.h"
+#include "sim/experiment.h"
+#include "support/assert.h"
+
+namespace dex::sim {
+
+// The event stream must be its own per-trial stream: colliding with the
+// adversary's (raw seed), the overlay's or the traffic engine's derivation
+// would entangle the delivery schedule with the churn/request draws and
+// break the sync-equivalence-at-zero-latency pin.
+static_assert(kEventSeedSalt != 0);
+static_assert(kEventSeedSalt != kOverlaySeedSalt);
+static_assert(kEventSeedSalt != kTrafficSeedSalt);
+static_assert(kEventSeedSalt != (kOverlaySeedSalt ^ kTrafficSeedSalt));
+
+namespace {
+
+/// Event kinds, in the order a step travels through them.
+enum : std::uint32_t {
+  kInject = 0,   ///< the strategy draws the step's batch; deliveries launch
+  kChurnArrive,  ///< one churn constituent delivered to the overlay
+  kSettle,       ///< batch applied, walks settled; traffic takes over
+  kTrafficOp,    ///< one KV request (re)transmitted
+};
+
+/// A step's in-flight state between injection and finalization.
+struct PendingStep {
+  ChurnBatch batch;
+  std::size_t expected = 0;  ///< churn deliveries launched
+  std::size_t arrived = 0;   ///< ... and landed so far
+  std::size_t ops_done = 0;  ///< traffic requests served so far
+  std::uint64_t dropped = 0;
+  bool batch_step = false;  ///< want > 1 (parallel_steps accounting)
+  StepRecord rec;
+  TrafficStepStats traffic;
+};
+
+}  // namespace
+
+EventEngine::EventEngine(HealingOverlay& overlay,
+                         adversary::Strategy& strategy, ScenarioSpec spec)
+    : overlay_(overlay), strategy_(strategy), spec_(std::move(spec)) {}
+
+ScenarioResult EventEngine::run() {
+  DEX_ASSERT_MSG(spec_.event.enabled,
+                 "EventEngine invoked with the sync engine selected");
+  DEX_ASSERT_MSG(spec_.event.valid(), "event spec out of range");
+  // The adversary stream is the raw seed — the very draws the sync engine
+  // makes, in the very same order (injections run in step order), so the
+  // churn sequence is engine-invariant. Latency/loss/backoff draws live on
+  // the salted stream.
+  support::Rng rng(spec_.seed);
+  support::Rng ev_rng(spec_.seed ^ kEventSeedSalt);
+  const std::uint64_t straggler_salt =
+      support::mix64(spec_.seed ^ kEventSeedSalt);
+  const double loss = spec_.event.loss_rate;
+  const std::uint64_t period = spec_.event.period;
+
+  const std::size_t base = overlay_.n();
+  const auto bounds = resolve_bounds(spec_, base);
+  const std::size_t min_n = bounds.min_n;
+  const std::size_t max_n = bounds.max_n;
+  DEX_ASSERT_MSG(bounds.valid(), "degenerate population bounds");
+
+  CachedView cache(overlay_);
+  const adversary::AdversaryView& view = cache.view();
+  overlay_.set_live_view_provider(
+      [&cache] { return cache.live_csr_if_valid(); });
+  struct ProviderGuard {
+    HealingOverlay& overlay;
+    ~ProviderGuard() { overlay.set_live_view_provider({}); }
+  } provider_guard{overlay_};
+
+  using Clock = std::chrono::steady_clock;
+  const bool timing = spec_.time_phases;
+  Clock::time_point mark;
+  const auto tic = [&] {
+    if (timing) mark = Clock::now();
+  };
+  const auto toc = [&](double& acc) {
+    if (timing)
+      acc += std::chrono::duration<double, std::micro>(Clock::now() - mark)
+                 .count();
+  };
+
+  std::unique_ptr<TrafficEngine> traffic;
+  if (spec_.traffic.enabled()) {
+    traffic =
+        std::make_unique<TrafficEngine>(overlay_, spec_.traffic, spec_.seed);
+  }
+
+  ScenarioResult result;
+  result.backend = overlay_.name();
+  result.spec = spec_;
+  result.start_n = base;
+  if (spec_.record_trace) result.trace.reserve(spec_.steps);
+
+  // Warmup stays synchronous by definition: it models the pre-attack
+  // steady state, not the asynchronous regime under test.
+  if (spec_.warmup_steps > 0) {
+    adversary::RandomChurn warmup(spec_.warmup_insert_prob);
+    for (std::size_t t = 0; t < spec_.warmup_steps; ++t) {
+      StepRecord scratch;
+      detail::apply_action(overlay_, warmup.next(view, rng, min_n, max_n),
+                           scratch);
+      cache.advance();
+    }
+  }
+
+  std::vector<double> rounds, messages, topology;
+  rounds.reserve(spec_.steps);
+  messages.reserve(spec_.steps);
+  topology.reserve(spec_.steps);
+
+  // Stable straggler membership: a pure hash of (node id, trial seed), so
+  // joiners get a verdict too and no RNG stream is consumed. 53-bit
+  // comparison sidesteps the fraction*2^64 overflow at f = 1.
+  const auto is_straggler = [&](graph::NodeId u) {
+    const double f = spec_.event.straggler_fraction;
+    if (f <= 0.0) return false;
+    if (f >= 1.0) return true;
+    const std::uint64_t h = support::mix64(
+        straggler_salt ^ (0x9e3779b97f4a7c15ULL * (std::uint64_t{u} + 1)));
+    return (h >> 11) < static_cast<std::uint64_t>(f * 9007199254740992.0);
+  };
+  const auto link_latency = [&](graph::NodeId dest) {
+    std::uint64_t d = spec_.event.latency.sample(ev_rng);
+    if (is_straggler(dest)) d *= spec_.event.straggler_factor;
+    return d;
+  };
+
+  EventQueue queue;
+  std::vector<PendingStep> pending(spec_.steps);
+  /// Churn deliveries currently in the air across all steps — the
+  /// healing-racing-churn signal the trace's in_flight column reports.
+  std::size_t in_flight = 0;
+
+  for (std::size_t t = 0; t < spec_.steps; ++t) {
+    queue.push(static_cast<std::uint64_t>(t) * period, kInject, t);
+  }
+
+  const auto finalize = [&](std::size_t t, std::uint64_t now) {
+    PendingStep& p = pending[t];
+    StepRecord& rec = p.rec;
+    if (traffic) {
+      const TrafficStepStats& ts = p.traffic;
+      rec.ops = ts.ops;
+      rec.op_hops = ts.op_hops;
+      rec.opt_hops = ts.opt_hops;
+      rec.failed_lookups = ts.failed_lookups;
+      rec.failed_writes = ts.failed_writes;
+      rec.moved_keys = ts.moved_keys;
+      rec.rehash_messages = ts.rehash_messages;
+      result.total_ops += ts.ops;
+      result.total_op_hops += ts.op_hops;
+      result.total_opt_hops += ts.opt_hops;
+      result.total_failed_lookups += ts.failed_lookups;
+      result.total_failed_writes += ts.failed_writes;
+      result.total_moved_keys += ts.moved_keys;
+      result.total_rehash_messages += ts.rehash_messages;
+    }
+    rec.vtime = now;
+    rec.in_flight = in_flight;
+    rec.dropped = p.dropped;
+    result.total_dropped += p.dropped;
+    result.max_in_flight = std::max(result.max_in_flight, in_flight);
+    result.total_inserts += rec.batch_inserts;
+    result.total_deletes += rec.batch_deletes;
+    result.total_walk_epochs += rec.walk_epochs;
+    if (rec.used_type2) ++result.type2_steps;
+    if (spec_.measure_degree) {
+      rec.max_degree = overlay_.max_degree();
+      result.max_degree = std::max(result.max_degree, rec.max_degree);
+    }
+    if (spec_.gap_every > 0 && t % spec_.gap_every == 0) {
+      rec.gap = std::max(
+          0.0, graph::spectral_gap(view.snapshot(), view.alive_mask()).gap);
+      result.min_gap = std::min(result.min_gap, rec.gap);
+    }
+    rounds.push_back(static_cast<double>(rec.cost.rounds));
+    messages.push_back(static_cast<double>(rec.cost.messages));
+    topology.push_back(static_cast<double>(rec.cost.topology_changes));
+    result.total += rec.cost;
+    if (observer_) {
+      observer_(rec, overlay_);
+      cache.advance();
+    }
+    if (spec_.record_trace) result.trace.push_back(rec);
+  };
+
+  const auto apply_step = [&](std::size_t t, std::uint64_t now) {
+    PendingStep& p = pending[t];
+    // Filter constituents invalidated by churn that settled while this
+    // batch was in flight (only possible when latency outruns the injection
+    // period): dead victims, dead attach points, and trailing deletions
+    // that would now empty the network. Each filtered event is a dropped
+    // delivery — the overlay never sees it.
+    ChurnBatch live;
+    live.victims.reserve(p.batch.victims.size());
+    live.attach_to.reserve(p.batch.attach_to.size());
+    for (const graph::NodeId v : p.batch.victims) {
+      if (overlay_.alive(v)) {
+        live.victims.push_back(v);
+      } else {
+        ++p.dropped;
+      }
+    }
+    while (!live.victims.empty() &&
+           overlay_.n() <= live.victims.size() + 2) {
+      live.victims.pop_back();
+      ++p.dropped;
+    }
+    for (const graph::NodeId a : p.batch.attach_to) {
+      if (overlay_.alive(a)) {
+        live.attach_to.push_back(a);
+      } else {
+        ++p.dropped;
+      }
+    }
+    p.batch = ChurnBatch{};  // the buffers are dead weight from here on
+    tic();
+    const BatchOutcome out = detail::apply_batch_step(overlay_, live, p.rec);
+    toc(result.churn_us);
+    tic();
+    cache.advance();
+    toc(result.view_us);
+    if (p.batch_step && out.parallel) ++result.parallel_steps;
+    p.rec.n = overlay_.n();
+    // Walk settlement: the healing protocol's completion notice pays one
+    // more link traversal (no straggler multiplier — it aggregates over the
+    // whole repair neighborhood) before traffic resumes against the step.
+    queue.push(now + spec_.event.latency.sample(ev_rng), kSettle, t);
+  };
+
+  while (!queue.empty()) {
+    const EventQueue::Item ev = queue.pop();
+    const std::size_t t = static_cast<std::size_t>(ev.step);
+    PendingStep& p = pending[t];
+    switch (ev.kind) {
+      case kInject: {
+        p.rec.step = t;
+        const bool burst =
+            spec_.burst_every == 0 || t % spec_.burst_every == 0;
+        const std::size_t want =
+            burst ? std::max<std::size_t>(spec_.batch_size, 1) : 1;
+        ChurnBatch batch;
+        if (want <= 1) {
+          const adversary::ChurnAction a =
+              strategy_.next(view, rng, min_n, max_n);
+          if (a.insert) {
+            batch.attach_to.push_back(a.target);
+          } else {
+            batch.victims.push_back(a.target);
+          }
+        } else {
+          batch = strategy_.next_batch(view, rng, min_n, max_n, want);
+        }
+        if (traffic) traffic->observe_churn(batch, view);
+        p.batch_step = want > 1;
+        p.expected = batch.size();
+        p.batch = std::move(batch);
+        if (p.expected == 0) {
+          apply_step(t, ev.time);
+          break;
+        }
+        // One delivery per constituent, in ChurnBatch's canonical order
+        // (victims, then attach points). Loss draws a geometric retransmit
+        // count up front: each lost copy is a dropped delivery paying a
+        // 1-tick timeout plus a fresh latency sample before the resend.
+        const auto launch = [&](graph::NodeId dest) {
+          std::uint64_t delay = 0;
+          if (loss > 0) {
+            while (ev_rng.chance(loss)) {
+              ++p.dropped;
+              delay += 1 + link_latency(dest);
+            }
+          }
+          delay += link_latency(dest);
+          ++in_flight;
+          queue.push(ev.time + delay, kChurnArrive, t);
+        };
+        for (const graph::NodeId v : p.batch.victims) launch(v);
+        for (const graph::NodeId a : p.batch.attach_to) launch(a);
+        break;
+      }
+      case kChurnArrive: {
+        DEX_ASSERT(in_flight > 0);
+        --in_flight;
+        if (++p.arrived == p.expected) apply_step(t, ev.time);
+        break;
+      }
+      case kSettle: {
+        if (traffic) {
+          tic();
+          p.traffic = traffic->begin_step(view);
+          toc(result.traffic_us);
+          if (spec_.traffic.ops_per_step > 0) {
+            // Requests fire back-to-back at settle time; latency shapes the
+            // *churn* pipeline, while request loss below shapes serving.
+            for (std::size_t i = 0; i < spec_.traffic.ops_per_step; ++i) {
+              queue.push(ev.time, kTrafficOp, t);
+            }
+            break;
+          }
+        }
+        finalize(t, ev.time);
+        break;
+      }
+      case kTrafficOp: {
+        if (loss > 0 && ev_rng.chance(loss)) {
+          // Request lost in flight: retransmit after a 1-tick timeout plus
+          // a fresh latency draw. The op is delayed, not failed — failures
+          // stay what they always were, routing/lookup outcomes.
+          ++p.dropped;
+          queue.push(ev.time + 1 + spec_.event.latency.sample(ev_rng),
+                     kTrafficOp, t);
+          break;
+        }
+        tic();
+        traffic->serve_one(p.traffic);
+        toc(result.traffic_us);
+        if (++p.ops_done == spec_.traffic.ops_per_step) finalize(t, ev.time);
+        break;
+      }
+    }
+  }
+  DEX_ASSERT_MSG(in_flight == 0, "event loop drained with deliveries in air");
+
+  result.rounds = metrics::summarize(std::move(rounds));
+  result.messages = metrics::summarize(std::move(messages));
+  result.topology = metrics::summarize(std::move(topology));
+  result.final_n = overlay_.n();
+  return result;
+}
+
+}  // namespace dex::sim

@@ -1,0 +1,94 @@
+#include "sim/event/event.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace dex::sim {
+
+namespace {
+
+/// Strict parse of a non-negative integer; nullopt on sign, garbage, or
+/// overflow — the CLI surfaces the nullopt as a usage error.
+std::optional<std::uint64_t> parse_ticks(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (v > (~0ULL - d) / 10) return std::nullopt;
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t LatencyModel::sample(support::Rng& rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return a;
+    case Kind::kUniform:
+      return a + rng.below(b - a + 1);
+    case Kind::kExp: {
+      if (a == 0) return 0;
+      // Inverse-CDF draw rounded to ticks; log1p(-u) is finite for every
+      // uniform01() value (u < 1 by construction).
+      const double x =
+          -static_cast<double>(a) * std::log1p(-rng.uniform01());
+      return static_cast<std::uint64_t>(std::llround(x));
+    }
+  }
+  return 0;  // unreachable; keeps -Wreturn-type quiet
+}
+
+double LatencyModel::mean() const {
+  switch (kind) {
+    case Kind::kFixed:
+    case Kind::kExp:
+      return static_cast<double>(a);
+    case Kind::kUniform:
+      return (static_cast<double>(a) + static_cast<double>(b)) / 2.0;
+  }
+  return 0.0;
+}
+
+std::string LatencyModel::to_string() const {
+  switch (kind) {
+    case Kind::kFixed:
+      return "fixed:" + std::to_string(a);
+    case Kind::kUniform:
+      return "uniform:" + std::to_string(a) + "," + std::to_string(b);
+    case Kind::kExp:
+      return "exp:" + std::to_string(a);
+  }
+  return {};
+}
+
+std::optional<LatencyModel> LatencyModel::parse(const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const std::string name = text.substr(0, colon);
+  const std::string args = text.substr(colon + 1);
+  LatencyModel m;
+  if (name == "fixed" || name == "exp") {
+    m.kind = name == "fixed" ? Kind::kFixed : Kind::kExp;
+    const auto v = parse_ticks(args);
+    if (!v) return std::nullopt;
+    m.a = *v;
+    return m;
+  }
+  if (name == "uniform") {
+    const auto comma = args.find(',');
+    if (comma == std::string::npos) return std::nullopt;
+    const auto lo = parse_ticks(args.substr(0, comma));
+    const auto hi = parse_ticks(args.substr(comma + 1));
+    if (!lo || !hi || *hi < *lo) return std::nullopt;
+    m.kind = Kind::kUniform;
+    m.a = *lo;
+    m.b = *hi;
+    return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dex::sim

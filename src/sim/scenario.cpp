@@ -8,6 +8,7 @@
 
 #include "graph/spectral.h"
 #include "metrics/emit.h"
+#include "sim/event/engine.h"
 #include "support/assert.h"
 
 namespace dex::sim {
@@ -112,24 +113,6 @@ void CachedView::advance() {
 
 namespace {
 
-void apply_action(HealingOverlay& overlay, const adversary::ChurnAction& a,
-                  StepRecord& rec) {
-  rec.insert = a.insert;
-  rec.target = a.target;
-  if (a.insert) {
-    DEX_ASSERT_MSG(overlay.alive(a.target),
-                   "strategy chose a dead attach point");
-    rec.new_node = overlay.insert(a.target);
-    rec.batch_inserts = 1;
-  } else {
-    DEX_ASSERT_MSG(overlay.alive(a.target), "strategy chose a dead victim");
-    DEX_ASSERT_MSG(overlay.n() > 2, "scenario would delete the network away");
-    overlay.remove(a.target);
-    rec.new_node = graph::kInvalidNode;
-    rec.batch_deletes = 1;
-  }
-}
-
 /// Sanity checks on a strategy-produced batch before it reaches the
 /// overlay: the per-event contract of ChurnBatch (alive, distinct victims,
 /// attach points surviving) plus the runner's own never-empty-the-network
@@ -150,6 +133,30 @@ void validate_batch(const HealingOverlay& overlay,
     DEX_ASSERT_MSG(overlay.alive(a), "strategy chose a dead attach point");
     DEX_ASSERT_MSG(!seen.contains(a),
                    "strategy attached a newcomer to a batch victim");
+  }
+}
+
+}  // namespace
+
+// Shared with the event engine (sim/event/engine.h): both engines mutate
+// the overlay and fill StepRecords through exactly these two functions.
+namespace detail {
+
+void apply_action(HealingOverlay& overlay, const adversary::ChurnAction& a,
+                  StepRecord& rec) {
+  rec.insert = a.insert;
+  rec.target = a.target;
+  if (a.insert) {
+    DEX_ASSERT_MSG(overlay.alive(a.target),
+                   "strategy chose a dead attach point");
+    rec.new_node = overlay.insert(a.target);
+    rec.batch_inserts = 1;
+  } else {
+    DEX_ASSERT_MSG(overlay.alive(a.target), "strategy chose a dead victim");
+    DEX_ASSERT_MSG(overlay.n() > 2, "scenario would delete the network away");
+    overlay.remove(a.target);
+    rec.new_node = graph::kInvalidNode;
+    rec.batch_deletes = 1;
   }
 }
 
@@ -179,7 +186,7 @@ BatchOutcome apply_batch_step(HealingOverlay& overlay,
   return out;
 }
 
-}  // namespace
+}  // namespace detail
 
 ResolvedBounds resolve_bounds(const ScenarioSpec& spec, std::size_t n0) {
   ResolvedBounds b;
@@ -194,6 +201,14 @@ ScenarioRunner::ScenarioRunner(HealingOverlay& overlay,
     : overlay_(overlay), strategy_(strategy), spec_(spec) {}
 
 ScenarioResult ScenarioRunner::run() {
+  if (spec_.event.enabled) {
+    // The event engine shares this runner's entire surface (spec, observer,
+    // sinks above), so the Executor/CLI never learn which engine ran — the
+    // choice is data, flowing through ExperimentPlan like any other knob.
+    EventEngine engine(overlay_, strategy_, spec_);
+    engine.set_observer(observer_);
+    return engine.run();
+  }
   support::Rng rng(spec_.seed);
   const std::size_t base = overlay_.n();
   const auto bounds = resolve_bounds(spec_, base);
@@ -244,7 +259,8 @@ ScenarioResult ScenarioRunner::run() {
     adversary::RandomChurn warmup(spec_.warmup_insert_prob);
     for (std::size_t t = 0; t < spec_.warmup_steps; ++t) {
       StepRecord scratch;
-      apply_action(overlay_, warmup.next(view, rng, min_n, max_n), scratch);
+      detail::apply_action(overlay_, warmup.next(view, rng, min_n, max_n),
+                           scratch);
       cache.advance();
     }
   }
@@ -257,6 +273,10 @@ ScenarioResult ScenarioRunner::run() {
   for (std::size_t t = 0; t < spec_.steps; ++t) {
     StepRecord rec;
     rec.step = t;
+    // Lockstep virtual time: one tick per step, so the sync engine's vtime
+    // column coincides with the event engine's at latency fixed:0 (whose
+    // default period is also 1 tick).
+    rec.vtime = t;
     // Burst pattern: every step is a batch when burst_every is 0; otherwise
     // only every burst_every-th step bursts and the rest are single events.
     const bool burst = spec_.burst_every == 0 || t % spec_.burst_every == 0;
@@ -282,7 +302,7 @@ ScenarioResult ScenarioRunner::run() {
     // its own cached pre-churn topology).
     if (traffic) traffic->observe_churn(batch, view);
     tic();
-    const BatchOutcome out = apply_batch_step(overlay_, batch, rec);
+    const BatchOutcome out = detail::apply_batch_step(overlay_, batch, rec);
     toc(result.churn_us);
     tic();
     cache.advance();
@@ -429,6 +449,9 @@ const std::vector<std::string>& trace_csv_header() {
       "stretch",
       "moved_keys",
       "rehash_messages",
+      "vtime",
+      "in_flight",
+      "dropped",
   };
   return header;
 }
@@ -461,7 +484,10 @@ std::vector<std::string> trace_csv_cells(const StepRecord& r) {
                                 static_cast<double>(r.op_hops) /
                                 static_cast<double>(r.opt_hops)),
           std::to_string(r.moved_keys),
-          std::to_string(r.rehash_messages)};
+          std::to_string(r.rehash_messages),
+          std::to_string(r.vtime),
+          std::to_string(r.in_flight),
+          std::to_string(r.dropped)};
 }
 
 std::string trace_csv(const ScenarioResult& result) {
@@ -543,6 +569,20 @@ std::string summary_json(const ScenarioResult& result) {
              static_cast<std::uint64_t>(result.total_failed_writes))
         .add("moved_keys", static_cast<std::uint64_t>(result.total_moved_keys))
         .add("rehash_messages", result.total_rehash_messages);
+  }
+  if (result.spec.event.enabled) {
+    // The delivery regime, archived next to its outcomes; absent entirely
+    // on sync-engine summaries so their bytes stay what they always were.
+    const auto& e = result.spec.event;
+    o.add("engine", std::string("event"))
+        .add("latency", e.latency.to_string())
+        .add("loss_rate", e.loss_rate)
+        .add("straggler_fraction", e.straggler_fraction)
+        .add("straggler_factor", e.straggler_factor)
+        .add("period", e.period)
+        .add("dropped_deliveries", result.total_dropped)
+        .add("max_in_flight",
+             static_cast<std::uint64_t>(result.max_in_flight));
   }
   return o.to_string();
 }

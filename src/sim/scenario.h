@@ -17,6 +17,7 @@
 
 #include "adversary/adversary.h"
 #include "metrics/stats.h"
+#include "sim/event/event.h"
 #include "sim/meters.h"
 #include "sim/overlay.h"
 #include "sim/workload.h"
@@ -65,6 +66,13 @@ struct ScenarioSpec {
   /// Disabled by default (traffic.workload empty); the request stream uses
   /// its own RNG, so enabling it replays the same churn byte-for-byte.
   TrafficSpec traffic;
+  /// The delivery regime (sim/event/event.h): with event.enabled the trial
+  /// runs on the event engine — churn constituents, walk settlement and KV
+  /// requests become timestamped deliveries under the spec's latency/loss/
+  /// straggler model — instead of the lockstep loop. At latency fixed:0 /
+  /// loss 0 the two engines emit byte-identical traces; the knobs ride the
+  /// spec, so they flow through ExperimentPlan/Executor untouched.
+  EventSpec event;
   /// Accumulate wall-clock phase totals (churn/view-maintenance/traffic)
   /// into the result. Off by default: the totals never appear in traces or
   /// summary JSON (the determinism contract covers bytes, not wall time),
@@ -131,6 +139,16 @@ struct StepRecord {
   /// Keys re-homed by this step's churn, and the transfer messages charged.
   std::size_t moved_keys = 0;
   std::uint64_t rehash_messages = 0;
+  // --- event-engine fields (sync engine: vtime == step, the rest 0) ---
+  /// Virtual time (ticks) when the step finalized. Injection happens at
+  /// step * event.period; the difference is the step's settle lag.
+  std::uint64_t vtime = 0;
+  /// Churn deliveries of *other* steps still in the air at finalization —
+  /// nonzero exactly when healing is racing churn.
+  std::size_t in_flight = 0;
+  /// Deliveries this step lost to message loss (each retransmitted) plus
+  /// constituents invalidated by racing churn before they could apply.
+  std::size_t dropped = 0;
 };
 
 struct ScenarioResult {
@@ -162,6 +180,9 @@ struct ScenarioResult {
   std::size_t total_failed_writes = 0;
   std::size_t total_moved_keys = 0;
   std::uint64_t total_rehash_messages = 0;
+  /// Event-engine aggregates (both 0 on the sync engine).
+  std::uint64_t total_dropped = 0;
+  std::size_t max_in_flight = 0;
   /// Wall-clock phase totals in microseconds, summed over the measured
   /// steps; all 0 unless spec.time_phases. Deliberately absent from
   /// trace_csv/summary_json so timing can never perturb byte-identity.
@@ -169,6 +190,21 @@ struct ScenarioResult {
   double view_us = 0.0;     ///< CachedView::advance — journal drain + patch
   double traffic_us = 0.0;  ///< key re-homing + request serving
 };
+
+/// Churn-application internals shared by the synchronous runner loop and
+/// the event engine (sim/event/engine.h), so both fill StepRecords through
+/// the very same apply surface — the zero-latency byte-equivalence between
+/// the engines depends on it.
+namespace detail {
+/// Applies one single churn event (the warmup path) and records it.
+void apply_action(HealingOverlay& overlay, const adversary::ChurnAction& a,
+                  StepRecord& rec);
+/// Validates a strategy-produced batch (alive, distinct victims, network
+/// never emptied), applies it through HealingOverlay::apply and fills the
+/// record's per-event/batch fields.
+BatchOutcome apply_batch_step(HealingOverlay& overlay, const ChurnBatch& batch,
+                              StepRecord& rec);
+}  // namespace detail
 
 /// AdversaryView over an overlay whose expensive components (alive_nodes,
 /// snapshot, alive_mask) are materialized at most once per step, however
@@ -251,7 +287,10 @@ class ScenarioRunner {
 
   /// Runs warmup + spec.steps strategy steps and returns the trace with
   /// aggregates. Deterministic: same overlay state + spec + strategy state
-  /// in, byte-identical trace out.
+  /// in, byte-identical trace out. With spec.event.enabled the run is
+  /// delegated to the EventEngine (sim/event/engine.h) — same surface, same
+  /// determinism, but records finalize (and reach the observer) in
+  /// settlement order rather than step order.
   ScenarioResult run();
 
  private:
@@ -284,10 +323,11 @@ struct StrategyOptions {
 /// The canonical trace columns: step,op,target,new_node,n,rounds,messages,
 /// topology_changes,batch_inserts,batch_deletes,walk_epochs,used_type2,
 /// max_degree,gap,ops,op_hops,opt_hops,failed_lookups,failed_writes,
-/// stretch,moved_keys,rehash_messages (stretch = op_hops/opt_hops, blank
-/// when no routed op — matching the summary JSON, which omits mean_stretch
-/// in that case; the traffic columns are 0/blank when the spec carries no
-/// workload).
+/// stretch,moved_keys,rehash_messages,vtime,in_flight,dropped (stretch =
+/// op_hops/opt_hops, blank when no routed op — matching the summary JSON,
+/// which omits mean_stretch in that case; the traffic columns are 0/blank
+/// when the spec carries no workload; the trailing event columns read
+/// vtime == step, 0, 0 on the sync engine).
 /// Shared by trace_csv below and the streaming CsvTraceSink (sim/sinks.h)
 /// so the two emission paths can never drift.
 [[nodiscard]] const std::vector<std::string>& trace_csv_header();

@@ -11,8 +11,12 @@
 ///
 /// Delivery contract (what the Executor in sim/experiment.h guarantees and
 /// the conformance tests in tests/test_experiment.cpp pin down):
-///  - events of one trial are contiguous and ordered: start, steps in step
-///    order, end;
+///  - events of one trial are contiguous and ordered: start, steps, end.
+///    Sync-engine trials deliver steps in step order; event-engine trials
+///    (ScenarioSpec::event.enabled) deliver them in settlement order — the
+///    order batches finished applying under latency, which the StepRecord's
+///    step/vtime fields disambiguate — and that order is still deterministic
+///    for a given spec + seed;
 ///  - trials are delivered in trial-index order, regardless of how many
 ///    worker threads ran them or which finished first;
 ///  - calls are serialized (never concurrent), so sink implementations need

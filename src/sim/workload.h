@@ -281,6 +281,20 @@ class TrafficEngine {
 
   TrafficStepStats step(const adversary::AdversaryView& view);
 
+  /// The churn-bookkeeping half of step(): adopts the post-churn view
+  /// (KvStore::sync + hotspot target refresh) without serving anything; the
+  /// returned stats carry only moved_keys/rehash_messages. The event engine
+  /// calls this when a step's walks settle, then spreads the serving over
+  /// scheduled per-request events.
+  TrafficStepStats begin_step(const adversary::AdversaryView& view);
+
+  /// Serves exactly one request against the view adopted by the last
+  /// begin_step()/step(), folding the outcome into `st`. Consumes the same
+  /// RNG draws in the same order as one iteration of step()'s serving loop,
+  /// so begin_step + N × serve_one ≡ step with ops_per_step = N, byte for
+  /// byte — the equivalence the engine-conformance tests lean on.
+  void serve_one(TrafficStepStats& st);
+
   [[nodiscard]] const KvStore& store() const { return kv_; }
 
  private:

@@ -7,6 +7,9 @@ This script compares them against the checked-in baseline
 (tools/perf_baseline.json) and fails when any configuration's us/op exceeds
 the baseline by more than the allowed factor (default 2x, absorbing normal
 CI-runner jitter; a hot-path regression is an order of magnitude).
+Configurations are keyed by (backend, n0, engine) — "engine" distinguishes
+the lockstep rows from the discrete-event core's (rows without the field
+predate the event engine and count as sync).
 
 Baseline configurations absent from the bench output are skipped (CI runs a
 reduced max_n, so the large sizes only exist in full local runs); bench rows
@@ -34,8 +37,14 @@ def load_phase_rows(path):
                 continue  # not JSONL we own
             if obj.get("kind") != "phase_timing":
                 continue
-            rows[(obj["backend"], int(obj["n0"]))] = obj
+            rows[row_key(obj)] = obj
     return rows
+
+
+def row_key(obj):
+    # Rows written before the event engine existed carry no "engine" field;
+    # they are sync-engine rows by definition.
+    return (obj["backend"], int(obj["n0"]), obj.get("engine", "sync"))
 
 
 def main(argv):
@@ -65,7 +74,7 @@ def main(argv):
     failures = []
     checked = 0
     for entry in baseline["rows"]:
-        key = (entry["backend"], int(entry["n0"]))
+        key = row_key(entry)
         row = rows.get(key)
         if row is None:
             continue  # reduced run: this size was not swept
@@ -77,14 +86,14 @@ def main(argv):
             verdict = "REGRESSION"
             failures.append(key)
         print(
-            f"perf_guard: {key[0]:>14} n0={key[1]:<8} "
+            f"perf_guard: {key[0]:>14} n0={key[1]:<8} engine={key[2]:<5} "
             f"us/op {got:8.2f} vs baseline {base:8.2f} "
             f"(allowed {factor * base:8.2f}) {verdict}"
         )
 
-    for key in sorted(set(rows) - {(e["backend"], int(e["n0"]))
-                                   for e in baseline["rows"]}):
-        print(f"perf_guard: note: {key[0]} n0={key[1]} has no baseline pin")
+    for key in sorted(set(rows) - {row_key(e) for e in baseline["rows"]}):
+        print(f"perf_guard: note: {key[0]} n0={key[1]} engine={key[2]} "
+              f"has no baseline pin")
 
     if checked == 0:
         print("perf_guard: no baseline configuration matched the bench run")
