@@ -181,6 +181,9 @@ void print_usage(std::FILE* out) {
       "                   [--engine=sync|event] [--latency=MODEL] [--loss=P]\n"
       "                   [--stragglers=F] [--straggler-factor=K]\n"
       "                   [--period=T]\n"
+      "                   [--serve] [--clients=C] [--think=T]\n"
+      "                   [--queue-depth=D] [--shards=S] [--service=T]\n"
+      "                   [--op-timeout=T]\n"
       "                   [--sweep] [--jobs=J] [--trial-jobs=J]\n"
       "                   [--csv=FILE] [--json=FILE]\n"
       "       dex_sim_cli [script-file]        (legacy scripted mode)\n"
@@ -216,6 +219,19 @@ void print_usage(std::FILE* out) {
       "--latency fixed:0 --loss 0 the output byte-matches the sync engine,\n"
       "and every --jobs/--trial-jobs value stays byte-identical.\n"
       "\n"
+      "--serve (event engine + workload only) replaces the per-step request\n"
+      "batches with the concurrent serving front-end: --clients closed-loop\n"
+      "clients (issue -> routed request -> bounded per-home queue -> service\n"
+      "-> routed response -> --think ticks -> reissue) share the same total\n"
+      "op budget (steps x ops-per-step); a request arriving at a queue\n"
+      "already --queue-depth deep is shed, churn-moved keys become rehash\n"
+      "jobs occupying the same queues, --service ticks per op, and\n"
+      "completions slower than --op-timeout ticks count as timeouts. The\n"
+      "trace gains shed/timeouts/qdepth columns and the summary a serve\n"
+      "block with p50/p99/p999 latency and throughput; --shards only groups\n"
+      "per-shard histograms (merge-exact), so output stays byte-identical\n"
+      "across shard counts.\n"
+      "\n"
       "--sweep expands comma-listed --backend/--scenario/--n0/--batch-size/\n"
       "--seed axes into a grid (--backend all = every backend) and runs the\n"
       "trials on --jobs threads; rows gain a leading trial column and the\n"
@@ -232,6 +248,7 @@ int run_scenario(int argc, char** argv) {
   a.spec.steps = 256;
   bool traffic_knob = false;
   bool event_knob = false;
+  bool serve_knob = false;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -313,6 +330,24 @@ int run_scenario(int argc, char** argv) {
       } else if (parse_flag(argc, argv, i, "period", v)) {
         a.spec.event.period = parse_u64(v);
         event_knob = true;
+      } else if (parse_flag(argc, argv, i, "clients", v)) {
+        a.spec.serve.clients = parse_u64(v);
+        serve_knob = true;
+      } else if (parse_flag(argc, argv, i, "think", v)) {
+        a.spec.serve.think_ticks = parse_u64(v);
+        serve_knob = true;
+      } else if (parse_flag(argc, argv, i, "queue-depth", v)) {
+        a.spec.serve.queue_depth = parse_u64(v);
+        serve_knob = true;
+      } else if (parse_flag(argc, argv, i, "shards", v)) {
+        a.spec.serve.shards = parse_u64(v);
+        serve_knob = true;
+      } else if (parse_flag(argc, argv, i, "service", v)) {
+        a.spec.serve.service_ticks = parse_u64(v);
+        serve_knob = true;
+      } else if (parse_flag(argc, argv, i, "op-timeout", v)) {
+        a.spec.serve.op_timeout = parse_u64(v);
+        serve_knob = true;
       } else if (parse_flag(argc, argv, i, "jobs", v)) {
         a.jobs = parse_u64(v);
       } else if (parse_flag(argc, argv, i, "trial-jobs", v)) {
@@ -321,6 +356,8 @@ int run_scenario(int argc, char** argv) {
         a.csv_path = v;
       } else if (parse_flag(argc, argv, i, "json", v)) {
         a.json_path = v;
+      } else if (arg == "--serve") {
+        a.spec.serve.enabled = true;
       } else if (arg == "--sweep") {
         a.sweep = true;
       } else if (arg == "--no-trace") {
@@ -407,6 +444,27 @@ int run_scenario(int argc, char** argv) {
     std::fprintf(stderr,
                  "event flags (--latency/--loss/--stragglers/"
                  "--straggler-factor/--period) need --engine event\n");
+    return 2;
+  }
+  if (a.spec.serve.enabled) {
+    // Closed-loop clients live on the event clock and issue the workload's
+    // requests; both prerequisites are hard.
+    if (!a.spec.event.enabled || !a.spec.traffic.enabled()) {
+      std::fprintf(stderr,
+                   "--serve needs --engine event and a --workload\n");
+      return 2;
+    }
+    // Same predicate the engine asserts, surfaced as a usage error.
+    if (!a.spec.serve.valid()) {
+      std::fprintf(stderr,
+                   "serve spec out of range: --clients, --queue-depth, "
+                   "--shards and --service must be >= 1\n");
+      return 2;
+    }
+  } else if (serve_knob) {
+    std::fprintf(stderr,
+                 "serve flags (--clients/--think/--queue-depth/--shards/"
+                 "--service/--op-timeout) need --serve\n");
     return 2;
   }
   if (a.spec.burst_every > 0 &&

@@ -5,7 +5,9 @@
 #   2. every relative markdown link in README.md and docs/ resolves to a
 #      real file;
 #   3. the CLI flags documented in docs/EXPERIMENTS.md (between the
-#      cli-flags markers) exactly match what `dex_sim_cli --help` prints.
+#      cli-flags markers) exactly match what `dex_sim_cli --help` prints;
+#   4. every summary-JSON field emitted by src/sim/scenario.cpp is named
+#      in the summary-fields section of docs/EXPERIMENTS.md.
 #
 # Usage: scripts/docs-check.sh [path-to-dex_sim_cli]
 # The flag check is skipped with a warning when the binary is not built.
@@ -55,6 +57,22 @@ if [ -x "$cli" ]; then
   fi
 else
   echo "docs-check: warning: $cli not built; skipping --help flag check"
+fi
+
+# ---- 4. summary-field coverage ---------------------------------------------
+# Every JsonObject field name scenario.cpp's summary path emits must be
+# documented (backticked) between the summary-fields markers — adding a
+# summary field without documenting it fails CI.
+emitted=$(grep -oE '\.add\("[a-z_0-9]+"' src/sim/scenario.cpp |
+  sed -E 's/^\.add\("//; s/"$//' | sort -u)
+documented=$(sed -n '/summary-fields:begin/,/summary-fields:end/p' \
+  docs/EXPERIMENTS.md | grep -oE '`[a-z_0-9]+`' | tr -d '`' | sort -u)
+missing=$(comm -23 <(echo "$emitted") <(echo "$documented"))
+if [ -n "$missing" ]; then
+  echo "docs-check: summary fields emitted by src/sim/scenario.cpp but not"
+  echo "documented in docs/EXPERIMENTS.md (summary-fields section):"
+  echo "$missing" | sed 's/^/    /'
+  fail=1
 fi
 
 if [ "$fail" -eq 0 ]; then

@@ -1,0 +1,79 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace dex::metrics {
+
+namespace {
+constexpr std::uint64_t kSubBuckets = 1ULL
+                                      << LatencyHistogram::kSubBucketBits;
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // Top bit position h >= kSubBucketBits; the octave's sub-bucket is the
+  // kSubBucketBits bits below the top bit. Octave 1 (values in
+  // [kSubBuckets, 2*kSubBuckets)) continues the exact range seamlessly:
+  // its sub-buckets have width 1.
+  const unsigned h = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned octave = h - kSubBucketBits + 1;
+  const std::uint64_t sub = (value >> (h - kSubBucketBits)) - kSubBuckets;
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(octave) << kSubBucketBits) + sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t index) {
+  const std::uint64_t octave = index >> kSubBucketBits;
+  if (octave == 0) return index;  // exact range
+  const std::uint64_t sub = index & (kSubBuckets - 1);
+  const std::uint64_t width = 1ULL << (octave - 1);
+  const std::uint64_t lower = (kSubBuckets + sub) << (octave - 1);
+  return lower + width - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  const std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += weight;
+  count_ += weight;
+  sum_ += value * weight;
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Same rank rule as metrics::summarize: index floor(q * (count - 1))
+  // into the sorted samples; walk the cumulative counts to its bucket.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > rank) return std::min(bucket_upper(i), max_);
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
+void LatencyHistogram::clear() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+}  // namespace dex::metrics

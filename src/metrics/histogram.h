@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file histogram.h
+/// LatencyHistogram: a mergeable log-linear (HdrHistogram-style) bucketed
+/// histogram over non-negative integer tick values, built for the serving
+/// front-end's tail-latency accounting (src/serve/). metrics/stats.h
+/// answers percentiles by sorting the sample vector — fine for per-step
+/// cost series, unusable for millions of per-op latencies spread across
+/// shards. This histogram records in O(1), merges by elementwise count
+/// addition (associative and commutative, so shard-merge == global — the
+/// property that makes per-shard recording invisible in reported
+/// quantiles), and answers quantiles with bounded relative error.
+///
+/// Bucket layout: values below 2^kSubBucketBits are exact; above, each
+/// octave [2^h, 2^{h+1}) splits into 2^kSubBucketBits equal sub-buckets,
+/// so a bucket's width is at most its lower bound / 2^kSubBucketBits —
+/// relative quantile error <= 2^-kSubBucketBits (3.125% at 5 bits),
+/// pinned against the sort-based reference by tests/test_histogram.cpp.
+
+#include <cstdint>
+#include <vector>
+
+namespace dex::metrics {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^5 = 32 sub-buckets per octave; quantile
+  /// estimates land within 1/32 of the true sample value.
+  static constexpr unsigned kSubBucketBits = 5;
+
+  /// Adds one sample. O(1); the bucket array grows lazily to the highest
+  /// octave seen, so small-valued histograms stay small.
+  void record(std::uint64_t value) { record(value, 1); }
+  void record(std::uint64_t value, std::uint64_t weight);
+
+  /// Elementwise count addition plus exact sum/max folding. Associative
+  /// and commutative: merging per-shard histograms in any grouping or
+  /// order yields the same buckets as recording everything globally.
+  void merge(const LatencyHistogram& other);
+
+  /// The q-quantile (q clamped to [0, 1]) under the same rank rule
+  /// metrics::summarize uses — rank = floor(q * (count - 1)) into the
+  /// sorted sample sequence — reported as the *upper bound* of the bucket
+  /// holding that rank, so the estimate never understates the true sample
+  /// and overstates it by at most a factor 2^-kSubBucketBits. 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Exact sum of recorded values (not bucket-rounded), so mean() carries
+  /// no bucketing error at all.
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+  /// Exact maximum recorded value (0 when empty).
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  void clear();
+
+  /// Bucket index of a value (exposed for the merge/associativity tests).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
+  /// Largest value mapping to bucket `index` — what quantile() reports.
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t index);
+
+ private:
+  std::vector<std::uint64_t> buckets_;  ///< grown lazily to the top index
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dex::metrics

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file server.h
+/// ShardedKvServer: the serving front-end's discipline — key-sharded
+/// workers, bounded per-shard queues, admission control that sheds instead
+/// of blocking, merged tail-latency histograms — realized on real OS
+/// threads with a real clock. This is the *demo* half of src/serve/: it
+/// shows the same contract ServeState enforces on the event engine's
+/// virtual clock surviving contact with actual concurrency (see
+/// examples/serve_demo.cpp), and a smoke test pins its conservation
+/// invariant (submitted == completed + shed, and every acknowledged write
+/// readable after drain()). It is deliberately NOT load-bearing for the
+/// deterministic experiments — wall-clock latencies vary run to run, so
+/// nothing here feeds a trace or summary byte stream.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/histogram.h"
+
+namespace dex::serve {
+
+/// A thread-per-shard in-process KV server. Keys hash to a shard; each
+/// shard owns a bounded FIFO queue and a worker thread applying requests to
+/// shard-local state (no cross-shard locks on the serving path). submit()
+/// is the admission point: a full queue sheds the request immediately —
+/// the producer is never blocked by a slow shard, which is the whole point
+/// of admission control.
+class ShardedKvServer {
+ public:
+  struct Config {
+    std::size_t shards = 4;
+    std::size_t queue_depth = 64;
+  };
+
+  struct Request {
+    bool read = false;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;  ///< writes only
+  };
+
+  explicit ShardedKvServer(const Config& cfg);
+  ~ShardedKvServer();  ///< stops accepting, drains, joins
+
+  ShardedKvServer(const ShardedKvServer&) = delete;
+  ShardedKvServer& operator=(const ShardedKvServer&) = delete;
+
+  /// Admission: true = queued (will complete), false = shed (queue full).
+  bool submit(const Request& req);
+
+  /// Blocks until every queued request has completed. submit() may keep
+  /// racing in from other threads; drain() returns once it observes all
+  /// shards simultaneously empty and idle.
+  void drain();
+
+  // Post-hoc accounting (exact; totals are stable once drain() returns and
+  // producers have stopped).
+  [[nodiscard]] std::uint64_t completed() const;
+  [[nodiscard]] std::uint64_t shed() const;
+  /// Per-request queue+service latency in microseconds, merged across
+  /// shards (same merge contract as the deterministic histograms).
+  [[nodiscard]] metrics::LatencyHistogram latency() const;
+
+  /// Reads a key's stored value directly (post-drain verification).
+  [[nodiscard]] std::optional<std::uint64_t> peek(std::uint64_t key) const;
+
+ private:
+  struct Job {
+    Request req;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;       ///< worker wakeup
+    std::condition_variable drained;  ///< drain() wakeup
+    std::deque<Job> queue;
+    bool busy = false;  ///< worker mid-request (queue may look empty)
+    bool stop = false;
+    std::unordered_map<std::uint64_t, std::uint64_t> store;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    metrics::LatencyHistogram latency_us;
+    std::thread worker;
+  };
+
+  Shard& shard_for(std::uint64_t key) const;
+  void worker_loop(Shard& shard);
+
+  Config cfg_;
+  /// unique_ptr per shard: Shard holds a mutex and a thread, so the vector
+  /// must never relocate them.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dex::serve

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "graph/spectral.h"
+#include "serve/serve.h"
 #include "sim/experiment.h"
 #include "support/assert.h"
 
@@ -21,12 +22,22 @@ static_assert(kEventSeedSalt != (kOverlaySeedSalt ^ kTrafficSeedSalt));
 
 namespace {
 
-/// Event kinds, in the order a step travels through them.
+/// Event kinds, in the order a step travels through them. The first four
+/// carry a *step index* in Item.step; the serve kinds reuse the field as a
+/// client index (kOpIssue/kOpArrive/kOpDone/kOpResponse) or a home node id
+/// (kRehashDone) — which is why the dispatch loop resolves pending[step]
+/// per-case instead of up front.
 enum : std::uint32_t {
   kInject = 0,   ///< the strategy draws the step's batch; deliveries launch
   kChurnArrive,  ///< one churn constituent delivered to the overlay
   kSettle,       ///< batch applied, walks settled; traffic takes over
-  kTrafficOp,    ///< one KV request (re)transmitted
+  kTrafficOp,    ///< one KV request (re)transmitted (batch traffic mode)
+  // --- serving front-end (spec.serve.enabled; step = client id) ---
+  kOpIssue,      ///< a closed-loop client draws and transmits its next op
+  kOpArrive,     ///< request reaches the key's home; admission decides
+  kOpDone,       ///< service complete; the op executes against the store
+  kOpResponse,   ///< response reaches the client; latency recorded; think
+  kRehashDone,   ///< a churn-triggered rehash job frees its station
 };
 
 /// A step's in-flight state between injection and finalization.
@@ -39,6 +50,17 @@ struct PendingStep {
   bool batch_step = false;  ///< want > 1 (parallel_steps accounting)
   StepRecord rec;
   TrafficStepStats traffic;
+};
+
+/// One closed-loop client (serve mode): issue -> routed request -> admission
+/// -> service -> routed response -> think -> issue again, until its op
+/// budget runs dry. Exactly one op outstanding at a time, so the client
+/// index alone addresses all per-op state.
+struct ServeClient {
+  TrafficEngine::IssuedOp op;
+  std::uint64_t issued_at = 0;
+  std::uint64_t remaining = 0;  ///< ops this client may still issue
+  bool shed = false;            ///< current op rejected by admission
 };
 
 }  // namespace
@@ -95,6 +117,29 @@ ScenarioResult EventEngine::run() {
         std::make_unique<TrafficEngine>(overlay_, spec_.traffic, spec_.seed);
   }
 
+  // The serving front-end: closed-loop clients replace the per-step request
+  // batches. The total op budget stays steps x ops_per_step — the same
+  // offered work as batch mode — split round-robin across clients, and a
+  // shed attempt consumes budget like a completed one, so
+  // completed + shed == steps x ops_per_step always (the conservation
+  // invariant tests/test_serve.cpp pins).
+  const bool serving = spec_.serve.enabled;
+  DEX_ASSERT_MSG(!serving || traffic,
+                 "serve mode requires a traffic workload");
+  std::unique_ptr<serve::ServeState> serve_state;
+  std::vector<ServeClient> clients;
+  if (serving) {
+    DEX_ASSERT_MSG(spec_.serve.valid(), "serve spec out of range");
+    serve_state = std::make_unique<serve::ServeState>(spec_.serve);
+    clients.resize(spec_.serve.clients);
+    const std::uint64_t budget =
+        static_cast<std::uint64_t>(spec_.steps) * spec_.traffic.ops_per_step;
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      clients[c].remaining =
+          budget / clients.size() + (c < budget % clients.size() ? 1 : 0);
+    }
+  }
+
   ScenarioResult result;
   result.backend = overlay_.name();
   result.spec = spec_;
@@ -145,6 +190,16 @@ ScenarioResult EventEngine::run() {
     queue.push(static_cast<std::uint64_t>(t) * period, kInject, t);
   }
 
+  // Serve-mode epoch attribution: client ops are not tied to a step, so a
+  // step's record covers the *window* from its own settlement to the next
+  // one (the last window closes when the queue drains). open_epoch is the
+  // step whose window is currently collecting; records still emit in
+  // settlement order, exactly like batch mode.
+  constexpr std::size_t kNoEpoch = ~std::size_t{0};
+  std::size_t open_epoch = kNoEpoch;
+  bool clients_spawned = false;
+  std::uint64_t last_time = 0;
+
   const auto finalize = [&](std::size_t t, std::uint64_t now) {
     PendingStep& p = pending[t];
     StepRecord& rec = p.rec;
@@ -194,6 +249,33 @@ ScenarioResult EventEngine::run() {
     if (spec_.record_trace) result.trace.push_back(rec);
   };
 
+  // Folds the collecting window into the open epoch's record and emits it.
+  const auto close_epoch = [&](std::uint64_t now) {
+    if (open_epoch == kNoEpoch) return;
+    const serve::ServeWindow w = serve_state->take_window();
+    StepRecord& rec = pending[open_epoch].rec;
+    rec.shed = w.shed;
+    rec.timeouts = w.timeouts;
+    rec.queue_peak = w.peak_queue;
+    finalize(open_epoch, now);
+    open_epoch = kNoEpoch;
+  };
+
+  // One serve-mode network leg (request to the home, or response back to
+  // the origin): the same geometric loss-retransmit discipline churn
+  // deliveries pay, with drops charged to the window in progress.
+  const auto serve_leg = [&](graph::NodeId dest) {
+    std::uint64_t delay = 0;
+    if (loss > 0) {
+      while (ev_rng.chance(loss)) {
+        ++pending[open_epoch].dropped;
+        delay += 1 + link_latency(dest);
+      }
+    }
+    delay += link_latency(dest);
+    return delay;
+  };
+
   const auto apply_step = [&](std::size_t t, std::uint64_t now) {
     PendingStep& p = pending[t];
     // Filter constituents invalidated by churn that settled while this
@@ -240,10 +322,14 @@ ScenarioResult EventEngine::run() {
 
   while (!queue.empty()) {
     const EventQueue::Item ev = queue.pop();
+    last_time = ev.time;
+    // Item.step is a step index only for the churn/batch-traffic kinds; the
+    // serve kinds carry a client index or node id, so each case resolves
+    // its own state.
     const std::size_t t = static_cast<std::size_t>(ev.step);
-    PendingStep& p = pending[t];
     switch (ev.kind) {
       case kInject: {
+        PendingStep& p = pending[t];
         p.rec.step = t;
         const bool burst =
             spec_.burst_every == 0 || t % spec_.burst_every == 0;
@@ -290,12 +376,37 @@ ScenarioResult EventEngine::run() {
         break;
       }
       case kChurnArrive: {
+        PendingStep& p = pending[t];
         DEX_ASSERT(in_flight > 0);
         --in_flight;
         if (++p.arrived == p.expected) apply_step(t, ev.time);
         break;
       }
       case kSettle: {
+        PendingStep& p = pending[t];
+        if (serving) {
+          // Adopt the post-churn view (re-homes keys) and turn every moved
+          // key into a rehash job at its new home — the rehash storm that
+          // backpressures client traffic through the shared stations.
+          tic();
+          p.traffic = traffic->begin_step(view);
+          toc(result.traffic_us);
+          close_epoch(ev.time);
+          open_epoch = t;
+          const KvStore& store = traffic->store();
+          for (const std::uint64_t key : store.last_moved()) {
+            const graph::NodeId home = store.home(key);
+            queue.push(serve_state->admit_rehash(home, ev.time),
+                       kRehashDone, home);
+          }
+          if (!clients_spawned) {
+            clients_spawned = true;
+            for (std::size_t c = 0; c < clients.size(); ++c) {
+              if (clients[c].remaining > 0) queue.push(ev.time, kOpIssue, c);
+            }
+          }
+          break;
+        }
         if (traffic) {
           tic();
           p.traffic = traffic->begin_step(view);
@@ -313,6 +424,7 @@ ScenarioResult EventEngine::run() {
         break;
       }
       case kTrafficOp: {
+        PendingStep& p = pending[t];
         if (loss > 0 && ev_rng.chance(loss)) {
           // Request lost in flight: retransmit after a 1-tick timeout plus
           // a fresh latency draw. The op is delayed, not failed — failures
@@ -328,9 +440,76 @@ ScenarioResult EventEngine::run() {
         if (++p.ops_done == spec_.traffic.ops_per_step) finalize(t, ev.time);
         break;
       }
+      case kOpIssue: {
+        // The client's decision point: draw the request now, pin the home
+        // for admission, and put the request on the wire. The budget unit
+        // is spent here — shed or served, the attempt happened.
+        ServeClient& c = clients[t];
+        DEX_ASSERT(c.remaining > 0);
+        --c.remaining;
+        tic();
+        c.op = traffic->issue_op();
+        toc(result.traffic_us);
+        c.issued_at = ev.time;
+        c.shed = false;
+        queue.push(ev.time + serve_leg(c.op.home), kOpArrive, t);
+        break;
+      }
+      case kOpArrive: {
+        ServeClient& c = clients[t];
+        const auto adm = serve_state->admit(c.op.home, ev.time);
+        if (adm.admitted) {
+          queue.push(adm.done_at, kOpDone, t);
+        } else {
+          // Queue full: admission control sheds the request with an
+          // immediate rejection response (the trip back still costs a leg).
+          c.shed = true;
+          serve_state->record_shed();
+          queue.push(ev.time + serve_leg(c.op.origin), kOpResponse, t);
+        }
+        break;
+      }
+      case kOpDone: {
+        // Service complete: free the station, execute the op against the
+        // store *as it is now* — churn and other clients may have moved
+        // things since issue — and send the response home.
+        ServeClient& c = clients[t];
+        serve_state->depart(c.op.home);
+        tic();
+        traffic->complete_op(c.op, pending[open_epoch].traffic);
+        toc(result.traffic_us);
+        queue.push(ev.time + serve_leg(c.op.origin), kOpResponse, t);
+        break;
+      }
+      case kOpResponse: {
+        ServeClient& c = clients[t];
+        if (!c.shed) {
+          serve_state->record_completion(c.op.home, ev.time - c.issued_at);
+        }
+        if (c.remaining > 0) {
+          queue.push(ev.time + spec_.serve.think_ticks, kOpIssue, t);
+        }
+        break;
+      }
+      case kRehashDone: {
+        serve_state->depart(static_cast<graph::NodeId>(ev.step));
+        break;
+      }
     }
   }
   DEX_ASSERT_MSG(in_flight == 0, "event loop drained with deliveries in air");
+  if (serving) {
+    // The last epoch's window closes when the queue drains — every client
+    // budget is spent and every rehash job done by construction.
+    close_epoch(last_time);
+    serve_state->depart_all_check();
+    result.serve_completed = serve_state->total_completed();
+    result.serve_shed = serve_state->total_shed();
+    result.serve_timeouts = serve_state->total_timeouts();
+    result.serve_peak_queue = serve_state->peak_queue();
+    result.serve_makespan = last_time;
+    result.serve_latency = serve_state->merged_latency();
+  }
 
   result.rounds = metrics::summarize(std::move(rounds));
   result.messages = metrics::summarize(std::move(messages));

@@ -209,6 +209,8 @@ ScenarioResult ScenarioRunner::run() {
     engine.set_observer(observer_);
     return engine.run();
   }
+  DEX_ASSERT_MSG(!spec_.serve.enabled,
+                 "serve mode needs the event engine's clock");
   support::Rng rng(spec_.seed);
   const std::size_t base = overlay_.n();
   const auto bounds = resolve_bounds(spec_, base);
@@ -452,6 +454,9 @@ const std::vector<std::string>& trace_csv_header() {
       "vtime",
       "in_flight",
       "dropped",
+      "shed",
+      "timeouts",
+      "qdepth",
   };
   return header;
 }
@@ -487,7 +492,10 @@ std::vector<std::string> trace_csv_cells(const StepRecord& r) {
           std::to_string(r.rehash_messages),
           std::to_string(r.vtime),
           std::to_string(r.in_flight),
-          std::to_string(r.dropped)};
+          std::to_string(r.dropped),
+          std::to_string(r.shed),
+          std::to_string(r.timeouts),
+          std::to_string(r.queue_peak)};
 }
 
 std::string trace_csv(const ScenarioResult& result) {
@@ -583,6 +591,38 @@ std::string summary_json(const ScenarioResult& result) {
         .add("dropped_deliveries", result.total_dropped)
         .add("max_in_flight",
              static_cast<std::uint64_t>(result.max_in_flight));
+  }
+  if (result.spec.serve.enabled) {
+    // The serving regime and its outcomes. `shards` is deliberately not
+    // echoed: it only groups histograms (merge-invariant), and omitting it
+    // keeps summaries byte-identical across shard counts — the property
+    // tests/test_serve.cpp pins.
+    const auto& sv = result.spec.serve;
+    const auto& lat = result.serve_latency;
+    metrics::JsonObject s;
+    s.add("clients", static_cast<std::uint64_t>(sv.clients))
+        .add("think_ticks", sv.think_ticks)
+        .add("queue_depth", static_cast<std::uint64_t>(sv.queue_depth))
+        .add("service_ticks", sv.service_ticks)
+        .add("op_timeout", sv.op_timeout)
+        .add("completed", static_cast<std::uint64_t>(result.serve_completed))
+        .add("shed", static_cast<std::uint64_t>(result.serve_shed))
+        .add("timeouts", static_cast<std::uint64_t>(result.serve_timeouts))
+        .add("peak_queue",
+             static_cast<std::uint64_t>(result.serve_peak_queue))
+        .add("makespan", result.serve_makespan);
+    if (result.serve_makespan > 0) {
+      s.add("throughput", static_cast<double>(result.serve_completed) /
+                              static_cast<double>(result.serve_makespan));
+    }
+    metrics::JsonObject l;
+    l.add("mean", lat.mean())
+        .add("p50", lat.quantile(0.50))
+        .add("p99", lat.quantile(0.99))
+        .add("p999", lat.quantile(0.999))
+        .add("max", lat.max());
+    s.add("latency", l);
+    o.add("serve", s);
   }
   return o.to_string();
 }

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "adversary/adversary.h"
+#include "metrics/histogram.h"
 #include "metrics/stats.h"
+#include "serve/serve.h"
 #include "sim/event/event.h"
 #include "sim/meters.h"
 #include "sim/overlay.h"
@@ -73,6 +75,13 @@ struct ScenarioSpec {
   /// loss 0 the two engines emit byte-identical traces; the knobs ride the
   /// spec, so they flow through ExperimentPlan/Executor untouched.
   EventSpec event;
+  /// The serving front-end (serve/serve.h): with serve.enabled (requires
+  /// event.enabled and a traffic workload) requests stop firing as per-step
+  /// batches and become closed-loop client actors on the event clock — op
+  /// issue, routed delivery, admission at the home's bounded queue, service,
+  /// response, think time. The trace gains shed/timeouts/qdepth columns and
+  /// the summary a serve block with p50/p99/p999 latency and throughput.
+  serve::ServeSpec serve;
   /// Accumulate wall-clock phase totals (churn/view-maintenance/traffic)
   /// into the result. Off by default: the totals never appear in traces or
   /// summary JSON (the determinism contract covers bytes, not wall time),
@@ -149,6 +158,15 @@ struct StepRecord {
   /// Deliveries this step lost to message loss (each retransmitted) plus
   /// constituents invalidated by racing churn before they could apply.
   std::size_t dropped = 0;
+  // --- serving front-end fields (all 0 unless spec.serve is enabled) ---
+  /// Requests shed by admission control in this record's serving window
+  /// (serve mode: the window between the previous finalization and this
+  /// one; `ops` counts the window's *completed* ops there).
+  std::size_t shed = 0;
+  /// Completed ops whose end-to-end latency breached spec.serve.op_timeout.
+  std::size_t timeouts = 0;
+  /// Deepest per-home request queue observed in the window.
+  std::size_t queue_peak = 0;
 };
 
 struct ScenarioResult {
@@ -183,6 +201,17 @@ struct ScenarioResult {
   /// Event-engine aggregates (both 0 on the sync engine).
   std::uint64_t total_dropped = 0;
   std::size_t max_in_flight = 0;
+  /// Serving front-end aggregates (all 0/empty unless spec.serve.enabled).
+  std::size_t serve_completed = 0;  ///< ops served to completion
+  std::size_t serve_shed = 0;       ///< requests rejected by admission
+  std::size_t serve_timeouts = 0;   ///< completions past the SLO
+  std::size_t serve_peak_queue = 0;
+  /// Tick of the last serve/traffic event — the denominator of the
+  /// summary's throughput (completed ops per tick).
+  std::uint64_t serve_makespan = 0;
+  /// End-to-end op latency, merged across shards (shard-count-invariant by
+  /// the histogram's merge contract).
+  metrics::LatencyHistogram serve_latency;
   /// Wall-clock phase totals in microseconds, summed over the measured
   /// steps; all 0 unless spec.time_phases. Deliberately absent from
   /// trace_csv/summary_json so timing can never perturb byte-identity.

@@ -403,6 +403,45 @@ void TrafficEngine::serve_one(TrafficStepStats& st) {
   }
 }
 
+TrafficEngine::IssuedOp TrafficEngine::issue_op() {
+  // Same draws in the same order as serve_one's front half: key, origin,
+  // read coin (the coin only when the key is acknowledged right now).
+  const auto& nodes = kv_.alive();
+  DEX_ASSERT(!nodes.empty());
+  IssuedOp op;
+  op.key = pick_key();
+  op.origin = nodes[rng_.below(nodes.size())];
+  op.read = acked_.contains(op.key) && rng_.chance(spec_.read_fraction);
+  op.home = kv_.home(op.key);
+  return op;
+}
+
+void TrafficEngine::complete_op(const IssuedOp& op, TrafficStepStats& st) {
+  KvStore::OpResult r;
+  if (op.read) {
+    r = kv_.get(op.key, op.origin);
+    // Validate against the acknowledged value as of *now*: an intervening
+    // acknowledged write moved the goalposts legitimately. The entry must
+    // still exist — the read coin required an ack and nothing retracts one.
+    const auto known = acked_.find(op.key);
+    DEX_ASSERT(known != acked_.end());
+    if (!r.ok || !r.value || *r.value != known->second) ++st.failed_lookups;
+  } else {
+    const std::uint64_t value = support::mix64(op.key ^ ++write_seq_);
+    r = kv_.put(op.key, value, op.origin);
+    if (r.ok) {
+      acked_[op.key] = value;
+    } else {
+      ++st.failed_writes;
+    }
+  }
+  ++st.ops;
+  if (r.ok) {
+    st.op_hops += r.hops;
+    st.opt_hops += r.optimal_hops;
+  }
+}
+
 TrafficStepStats TrafficEngine::step(const adversary::AdversaryView& view) {
   TrafficStepStats st = begin_step(view);
   for (std::size_t i = 0; i < spec_.ops_per_step; ++i) serve_one(st);

@@ -295,6 +295,33 @@ class TrafficEngine {
   /// byte — the equivalence the engine-conformance tests lean on.
   void serve_one(TrafficStepStats& st);
 
+  /// One request split across time for the serving front-end (src/serve/):
+  /// issue_op() draws the request *now* (the client's decision point) and
+  /// pins the key's home for admission queueing; complete_op() executes it
+  /// *later*, at the service-completion event, against the store state of
+  /// that moment. serve_one == issue_op + immediate complete_op draw-for-
+  /// draw; the split exists so churn and other requests can land in
+  /// between. issue_op's home lookup can pay an O(alive) rendezvous scan
+  /// for never-placed keys — acceptable on the serve path, which is why
+  /// the hot batch path keeps calling serve_one instead.
+  struct IssuedOp {
+    std::uint64_t key = 0;
+    graph::NodeId origin = graph::kInvalidNode;
+    bool read = false;
+    /// The key's home at issue time — the station the request queues at.
+    /// Execution re-resolves the *current* home, so a churn-moved key is
+    /// still served correctly; only the queueing placement is pinned.
+    graph::NodeId home = graph::kInvalidNode;
+  };
+  [[nodiscard]] IssuedOp issue_op();
+
+  /// Executes a previously issued op. Reads validate against the
+  /// acknowledged value *at completion time* — a write to the same key
+  /// completing in between legitimately changes the expected value, and
+  /// checking the issue-time snapshot would manufacture false
+  /// failed_lookups out of ordinary concurrency.
+  void complete_op(const IssuedOp& op, TrafficStepStats& st);
+
   [[nodiscard]] const KvStore& store() const { return kv_; }
 
  private:

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# CLI input validation: every malformed invocation must exit 2 with a
+# single-line diagnostic on stderr and produce no simulation output on
+# stdout — a typo'd sweep should die before it burns an hour, and exit
+# codes must be scriptable (0 ok / 2 usage). Run with the CLI binary as
+# $1 (CMake passes $<TARGET_FILE:dex_sim_cli>).
+set -u
+
+cli="${1:?usage: test_cli_validation.sh <path-to-dex_sim_cli>}"
+failures=0
+
+# expect_reject <fragment-expected-in-stderr> <flag...>
+# Asserts: exit code 2, exactly one stderr line, fragment present, empty
+# stdout.
+expect_reject() {
+  local fragment="$1"
+  shift
+  local out err status
+  out="$("$cli" "$@" 2>/tmp/cli_validation_err)"
+  status=$?
+  err="$(cat /tmp/cli_validation_err)"
+  if [[ $status -ne 2 ]]; then
+    echo "FAIL [$*]: expected exit 2, got $status"
+    failures=$((failures + 1))
+    return
+  fi
+  if [[ -n "$out" ]]; then
+    echo "FAIL [$*]: rejected run still wrote to stdout: $out"
+    failures=$((failures + 1))
+    return
+  fi
+  if [[ "$(wc -l </tmp/cli_validation_err)" -ne 1 ]]; then
+    echo "FAIL [$*]: expected a one-line diagnostic, got:"
+    echo "$err"
+    failures=$((failures + 1))
+    return
+  fi
+  if [[ "$err" != *"$fragment"* ]]; then
+    echo "FAIL [$*]: stderr missing '$fragment', got: $err"
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok   [$*] -> $err"
+}
+
+base=(--backend lawsiu --scenario churn --n0 32 --steps 5)
+
+# Malformed --latency specs: reversed uniform bounds, negative mean,
+# unknown distribution, missing parameter.
+expect_reject "--latency must be" "${base[@]}" --engine event --latency uniform:4,1
+expect_reject "--latency must be" "${base[@]}" --engine event --latency exp:-1
+expect_reject "--latency must be" "${base[@]}" --engine event --latency bogus:3
+expect_reject "--latency must be" "${base[@]}" --engine event --latency fixed:
+
+# Unknown enum values.
+expect_reject "--engine must be" "${base[@]}" --engine turbo
+expect_reject "unknown backend" --backend nosuch --scenario churn --n0 32 --steps 5
+
+# Serve-flag gating: knobs without --serve, --serve without its
+# prerequisites, and out-of-range serve values.
+expect_reject "need --serve" "${base[@]}" --clients 4
+expect_reject "need --serve" "${base[@]}" --queue-depth 8
+expect_reject "needs --engine event" "${base[@]}" --serve
+expect_reject "needs --engine event" "${base[@]}" --engine event --serve
+expect_reject "serve spec out of range" \
+  "${base[@]}" --engine event --workload uniform --serve --clients 0
+expect_reject "serve spec out of range" \
+  "${base[@]}" --engine event --workload uniform --serve --shards 0
+
+# Positive control: the same base invocation, well-formed, must succeed —
+# otherwise the rejections above prove nothing.
+if ! "$cli" "${base[@]}" --engine event --workload uniform --serve \
+    --clients 2 --no-trace --json /dev/null >/dev/null 2>&1; then
+  echo "FAIL: well-formed control invocation did not exit 0"
+  failures=$((failures + 1))
+else
+  echo "ok   [control] well-formed serve run exits 0"
+fi
+
+rm -f /tmp/cli_validation_err
+if [[ $failures -ne 0 ]]; then
+  echo "$failures validation check(s) failed"
+  exit 1
+fi
+echo "all CLI validation checks passed"

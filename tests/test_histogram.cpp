@@ -1,0 +1,183 @@
+// metrics::LatencyHistogram — the serving front-end's mergeable tail-latency
+// accumulator. Pins: bucket arithmetic (exact range, octave boundaries,
+// roundtrip bounds), the quantile error contract (never understates the true
+// sample, overstates by at most 2^-kSubBucketBits) against a sort-based
+// reference using metrics::summarize's rank rule, merge associativity /
+// commutativity (shard-merge == global recording, the property serve-mode
+// shard-count invariance rests on), and the empty/single-sample edges.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "support/prng.h"
+
+using dex::metrics::LatencyHistogram;
+
+namespace {
+
+/// The rank rule metrics::summarize uses: index floor(q * (n - 1)) into the
+/// sorted samples.
+std::uint64_t reference_quantile(std::vector<std::uint64_t> values,
+                                 double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank =
+      static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
+
+}  // namespace
+
+TEST(LatencyHistogram, EmptyAndSingleSampleEdges) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+  h.record(17);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.count(), 1u);
+  // One sample: every quantile is that sample (17 < 2^5 sits in the exact
+  // range, so no bucket rounding either).
+  EXPECT_EQ(h.quantile(0.0), 17u);
+  EXPECT_EQ(h.quantile(0.5), 17u);
+  EXPECT_EQ(h.quantile(0.999), 17u);
+  EXPECT_EQ(h.max(), 17u);
+  EXPECT_DOUBLE_EQ(h.mean(), 17.0);
+
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LatencyHistogram, BucketRoundtripAndErrorBound) {
+  // Every value maps into a bucket whose upper bound is >= the value and
+  // overshoots by less than value / 2^(kSubBucketBits - 1) — the relative
+  // error the quantile contract leans on. Values below 2 * 2^kSubBucketBits
+  // are exact (the linear range plus octave 1's width-1 sub-buckets).
+  constexpr std::uint64_t kExactCeiling =
+      2ull << LatencyHistogram::kSubBucketBits;
+  for (std::uint64_t v = 0; v < kExactCeiling; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_upper(LatencyHistogram::bucket_index(v)),
+              v)
+        << v;
+  }
+  dex::support::Rng rng(0x9157u);
+  for (int i = 0; i < 20000; ++i) {
+    // Span every octave: a random bit width, then a random value of that
+    // width.
+    const std::uint64_t width = 1 + rng.below(63);
+    const std::uint64_t v = (1ull << width) | rng.below(1ull << width);
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    const std::uint64_t upper = LatencyHistogram::bucket_upper(idx);
+    ASSERT_GE(upper, v);
+    ASSERT_LE(upper - v, v >> (LatencyHistogram::kSubBucketBits - 1))
+        << "value " << v << " bucket upper " << upper;
+    // Bucket membership is consistent: the upper bound maps to the same
+    // bucket the value did.
+    ASSERT_EQ(LatencyHistogram::bucket_index(upper), idx);
+  }
+}
+
+TEST(LatencyHistogram, QuantilesMatchSortReferenceWithinBound) {
+  // Mixed-scale sample set (the shape serve latencies actually take: a tight
+  // body plus a long tail) vs the sorted-vector reference. The estimate must
+  // never understate the true sample and overstate by <= 1/2^4 relative —
+  // kSubBucketBits gives 1/2^5; the assertion leaves one doubling of slack
+  // for the rank landing anywhere inside the bucket.
+  dex::support::Rng rng(0xfeedu);
+  std::vector<std::uint64_t> values;
+  LatencyHistogram h;
+  for (int i = 0; i < 50000; ++i) {
+    std::uint64_t v = 0;
+    if (rng.chance(0.9)) {
+      v = 4 + rng.below(60);  // body
+    } else {
+      v = 1000 + rng.below(100000);  // tail
+    }
+    values.push_back(v);
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), values.size());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const std::uint64_t truth = reference_quantile(values, q);
+    const std::uint64_t est = h.quantile(q);
+    EXPECT_GE(est, truth) << "q=" << q;
+    EXPECT_LE(est, truth + truth / 16 + 1) << "q=" << q;
+  }
+  // The extremes are exact: max is tracked exactly and clamps the top
+  // bucket's upper bound.
+  EXPECT_EQ(h.quantile(1.0), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndCommutative) {
+  // Record one stream globally and sharded 7 ways; then merge the shards in
+  // ascending, descending and tree-grouped orders. All four histograms must
+  // agree exactly — count, sum, max and every quantile — because merge is
+  // elementwise addition. This is the property that makes serve-mode output
+  // byte-identical across --shards.
+  dex::support::Rng rng(0x4242u);
+  LatencyHistogram global;
+  std::vector<LatencyHistogram> shards(7);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t v = rng.below(1u << 20);
+    global.record(v);
+    shards[v % shards.size()].record(v);
+  }
+
+  LatencyHistogram ascending;
+  for (const auto& s : shards) ascending.merge(s);
+
+  LatencyHistogram descending;
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    descending.merge(*it);
+  }
+
+  // ((0+1) + (2+3+4)) + (5+6): arbitrary grouping.
+  LatencyHistogram left, mid, right, tree;
+  left.merge(shards[0]);
+  left.merge(shards[1]);
+  mid.merge(shards[2]);
+  mid.merge(shards[3]);
+  mid.merge(shards[4]);
+  right.merge(shards[5]);
+  right.merge(shards[6]);
+  tree.merge(left);
+  tree.merge(mid);
+  tree.merge(right);
+
+  for (const LatencyHistogram* merged : {&ascending, &descending, &tree}) {
+    EXPECT_EQ(merged->count(), global.count());
+    EXPECT_EQ(merged->sum(), global.sum());
+    EXPECT_EQ(merged->max(), global.max());
+    for (int i = 0; i <= 100; ++i) {
+      const double q = static_cast<double>(i) / 100.0;
+      EXPECT_EQ(merged->quantile(q), global.quantile(q)) << "q=" << q;
+    }
+  }
+}
+
+TEST(LatencyHistogram, WeightedRecordEqualsRepeatedRecord) {
+  LatencyHistogram repeated, weighted;
+  dex::support::Rng rng(0x77u);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.below(5000);
+    const std::uint64_t w = 1 + rng.below(9);
+    for (std::uint64_t k = 0; k < w; ++k) repeated.record(v);
+    weighted.record(v, w);
+  }
+  weighted.record(123, 0);  // zero weight is a no-op
+  EXPECT_EQ(repeated.count(), weighted.count());
+  EXPECT_EQ(repeated.sum(), weighted.sum());
+  EXPECT_EQ(repeated.max(), weighted.max());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(repeated.quantile(q), weighted.quantile(q));
+  }
+}

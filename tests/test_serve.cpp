@@ -1,0 +1,251 @@
+// The concurrent KV serving front-end (src/serve/ + the event engine's
+// closed-loop client wiring). Pins: the conservation invariant (completed +
+// shed == the offered op budget, zero lost acknowledged keys) on every
+// backend, trace/summary byte-identity across shard counts and across
+// --jobs/--trial-jobs, window-vs-total accounting consistency, admission
+// control visibly engaging under a rehash storm, and the threaded demo
+// server's conservation contract on real threads.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "serve/server.h"
+#include "sim/event/engine.h"
+#include "sim/experiment.h"
+#include "sim/overlay.h"
+#include "sim/scenario.h"
+#include "sim/sinks.h"
+
+using namespace dex;
+
+namespace {
+
+const char* kAllBackends[] = {"dex-amortized", "dex-worstcase", "flood",
+                              "lawsiu",        "randomflip",    "xheal"};
+
+/// A serve trial that exercises everything at once: batch churn (rehash
+/// storms), loss (request/response retransmits), hotspot traffic (targets
+/// the churned keys), a shallow enough queue to shed and a tight enough SLO
+/// to time out.
+sim::ScenarioSpec serve_spec(std::uint64_t seed) {
+  sim::ScenarioSpec spec;
+  spec.seed = seed;
+  spec.steps = 30;
+  spec.batch_size = 4;
+  spec.burst_every = 3;
+  spec.traffic.workload = "hotspot";
+  spec.traffic.ops_per_step = 24;
+  spec.traffic.keyspace = 512;
+  spec.event.enabled = true;
+  spec.event.latency = *sim::LatencyModel::parse("uniform:1,3");
+  spec.event.loss_rate = 0.05;
+  spec.serve.enabled = true;
+  spec.serve.clients = 12;
+  spec.serve.queue_depth = 3;
+  spec.serve.service_ticks = 2;
+  spec.serve.op_timeout = 40;
+  return spec;
+}
+
+sim::ScenarioResult run_backend(const char* backend,
+                                const sim::ScenarioSpec& spec,
+                                const char* scenario = "churn") {
+  auto overlay = sim::make_overlay(backend, 48, spec.seed ^ 0x5eedULL);
+  auto strategy = sim::make_strategy(scenario);
+  sim::ScenarioRunner runner(*overlay, *strategy, spec);
+  return runner.run();
+}
+
+}  // namespace
+
+TEST(ServeEngine, ConservesOpBudgetAndLosesNoKeysOnAllBackends) {
+  // Every issued op either completes or is shed — never silently dropped —
+  // and no acknowledged write is ever unreadable or stale. Insert-only
+  // churn keeps every route intact (nodes never leave), so the failure
+  // counters must be exactly zero; rehash still fires on every insertion.
+  for (const char* backend : kAllBackends) {
+    SCOPED_TRACE(backend);
+    const auto spec = serve_spec(7);
+    const auto r = run_backend(backend, spec, "insert-only");
+    const std::size_t offered = spec.steps * spec.traffic.ops_per_step;
+    EXPECT_EQ(r.serve_completed + r.serve_shed, offered);
+    EXPECT_EQ(r.total_ops, r.serve_completed);
+    EXPECT_EQ(r.serve_latency.count(), r.serve_completed);
+    EXPECT_EQ(r.total_failed_lookups, 0u);
+    EXPECT_EQ(r.total_failed_writes, 0u);
+    EXPECT_GT(r.serve_makespan, 0u);
+  }
+}
+
+TEST(ServeEngine, ConservesOpBudgetUnderAdversarialChurn) {
+  // Full churn (joins AND leaves) on 48 nodes can sever an occasional
+  // route mid-heal — the sync engine counts the same blips — so here the
+  // failure counters are only bounded, but conservation stays exact.
+  for (const char* backend : kAllBackends) {
+    SCOPED_TRACE(backend);
+    const auto spec = serve_spec(7);
+    const auto r = run_backend(backend, spec);
+    const std::size_t offered = spec.steps * spec.traffic.ops_per_step;
+    EXPECT_EQ(r.serve_completed + r.serve_shed, offered);
+    EXPECT_EQ(r.total_ops, r.serve_completed);
+    EXPECT_LE(r.total_failed_lookups + r.total_failed_writes, 4u);
+  }
+}
+
+TEST(ServeEngine, TraceAndSummaryByteIdenticalAcrossShardCounts) {
+  // --shards only groups per-shard histograms; merge associativity makes
+  // the merged quantiles invariant, and the summary deliberately omits the
+  // knob — so every emitted byte must match.
+  for (const char* backend : kAllBackends) {
+    SCOPED_TRACE(backend);
+    auto spec = serve_spec(11);
+    const auto one = run_backend(backend, spec);
+    spec.serve.shards = 5;
+    const auto five = run_backend(backend, spec);
+    EXPECT_EQ(sim::trace_csv(one), sim::trace_csv(five));
+    EXPECT_EQ(sim::summary_json(one), sim::summary_json(five));
+  }
+}
+
+TEST(ServeEngine, RerunIsByteIdentical) {
+  const auto spec = serve_spec(13);
+  const auto a = run_backend("dex-worstcase", spec);
+  const auto b = run_backend("dex-worstcase", spec);
+  EXPECT_EQ(sim::trace_csv(a), sim::trace_csv(b));
+  EXPECT_EQ(sim::summary_json(a), sim::summary_json(b));
+}
+
+TEST(ServeEngine, WindowColumnsSumToTotals) {
+  // The per-record serving windows partition the run: trace-column sums
+  // must equal the summary totals exactly (no op, shed or timeout falls
+  // between windows).
+  const auto spec = serve_spec(17);
+  const auto r = run_backend("dex-amortized", spec);
+  std::size_t ops = 0, shed = 0, timeouts = 0, peak = 0;
+  for (const auto& rec : r.trace) {
+    ops += rec.ops;
+    shed += rec.shed;
+    timeouts += rec.timeouts;
+    peak = std::max(peak, rec.queue_peak);
+  }
+  EXPECT_EQ(r.trace.size(), spec.steps);
+  EXPECT_EQ(ops, r.serve_completed);
+  EXPECT_EQ(shed, r.serve_shed);
+  EXPECT_EQ(timeouts, r.serve_timeouts);
+  EXPECT_EQ(peak, r.serve_peak_queue);
+}
+
+TEST(ServeEngine, AdmissionControlEngagesUnderRehashStorm) {
+  // The storm construction (hotspot x batch churn x shallow queues x slow
+  // service) must produce visible backpressure: nonzero shed, nonzero SLO
+  // misses, and a queue driven to its admission bound.
+  auto spec = serve_spec(19);
+  spec.serve.clients = 24;
+  spec.serve.queue_depth = 2;
+  spec.serve.service_ticks = 4;
+  spec.serve.op_timeout = 20;
+  const auto r = run_backend("dex-worstcase", spec);
+  EXPECT_GT(r.serve_shed, 0u);
+  EXPECT_GT(r.serve_timeouts, 0u);
+  EXPECT_GE(r.serve_peak_queue, spec.serve.queue_depth);
+  // Still conserving, storm notwithstanding.
+  EXPECT_EQ(r.serve_completed + r.serve_shed,
+            spec.steps * spec.traffic.ops_per_step);
+}
+
+TEST(ServeEngine, DeeperQueuesShedLessAndCompleteMore) {
+  auto spec = serve_spec(23);
+  spec.serve.queue_depth = 1;
+  const auto shallow = run_backend("lawsiu", spec);
+  spec.serve.queue_depth = 64;
+  const auto deep = run_backend("lawsiu", spec);
+  EXPECT_GT(shallow.serve_shed, deep.serve_shed);
+  EXPECT_LT(shallow.serve_completed, deep.serve_completed);
+}
+
+TEST(ServeEngine, SweepOutputByteIdenticalAcrossJobsAndTrialJobs) {
+  sim::ExperimentPlan plan;
+  plan.backends = {"dex-amortized", "flood", "lawsiu"};
+  plan.scenarios = {"churn"};
+  plan.populations = {32};
+  plan.batch_sizes = {3};
+  plan.seeds = {1, 2};
+  plan.base = serve_spec(0);  // seed comes from the axis
+  plan.base.steps = 20;
+
+  const auto run_jobs = [&](std::size_t jobs, unsigned trial_jobs) {
+    std::ostringstream csv, json;
+    sim::CsvTraceSink csv_sink(csv);
+    sim::JsonSummarySink json_sink(json);
+    sim::ExecutorOptions opts;
+    opts.jobs = jobs;
+    opts.trial_jobs = trial_jobs;
+    sim::Executor executor(opts);
+    executor.add_sink(csv_sink);
+    executor.add_sink(json_sink);
+    executor.run(plan.expand());
+    return std::make_pair(csv.str(), json.str());
+  };
+  const auto serial = run_jobs(1, 1);
+  const auto parallel = run_jobs(8, 1);
+  const auto intra = run_jobs(2, 4);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+  EXPECT_EQ(serial.first, intra.first);
+  EXPECT_EQ(serial.second, intra.second);
+  EXPECT_NE(serial.second.find("\"serve\": {"), std::string::npos);
+}
+
+TEST(ShardedKvServer, ConservesAndStoresOnRealThreads) {
+  // The demo server's contract on actual concurrency: submitted ==
+  // completed + shed, and with queues deep enough to never shed, every
+  // write is applied and readable after drain().
+  serve::ShardedKvServer::Config cfg;
+  cfg.shards = 4;
+  cfg.queue_depth = 100000;  // never shed
+  serve::ShardedKvServer server(cfg);
+  constexpr std::uint64_t kOps = 20 * 1024;  // multiple of the key range
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    serve::ShardedKvServer::Request req;
+    req.read = false;
+    req.key = i % 1024;
+    req.value = i;
+    EXPECT_TRUE(server.submit(req));
+  }
+  server.drain();
+  EXPECT_EQ(server.completed(), kOps);
+  EXPECT_EQ(server.shed(), 0u);
+  EXPECT_EQ(server.latency().count(), kOps);
+  // Keys were written in ascending i; the last write to key k is the
+  // largest i congruent to k — FIFO per shard guarantees it's what remains.
+  for (std::uint64_t k = 0; k < 1024; ++k) {
+    const auto v = server.peek(k);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v % 1024, k);
+    EXPECT_EQ(*v, kOps - 1024 + k);
+  }
+}
+
+TEST(ShardedKvServer, ShedsInsteadOfBlockingWhenQueuesFill) {
+  serve::ShardedKvServer::Config cfg;
+  cfg.shards = 2;
+  cfg.queue_depth = 4;
+  serve::ShardedKvServer server(cfg);
+  constexpr std::uint64_t kOps = 50000;
+  std::uint64_t accepted = 0;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    serve::ShardedKvServer::Request req;
+    req.key = i;
+    req.value = i;
+    if (server.submit(req)) ++accepted;
+  }
+  server.drain();
+  // Conservation across the admission boundary.
+  EXPECT_EQ(server.completed(), accepted);
+  EXPECT_EQ(server.completed() + server.shed(), kOps);
+  // A single tight loop against depth-4 queues must shed something.
+  EXPECT_GT(server.shed(), 0u);
+}
