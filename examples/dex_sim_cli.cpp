@@ -18,7 +18,13 @@
 //            --scenario=NAMES (churn, insert-only, delete-only, oscillate,
 //                              targeted, load-attack, spectral,
 //                              greedy-spectral, burst, flash-crowd,
-//                              mass-failure; comma list with --sweep)
+//                              mass-failure, oracle-bust, chord-cut,
+//                              spectral-batch; comma list with --sweep)
+//            --campaign=SPEC  phased adversary campaign replacing the single
+//                             --scenario strategy: ;-separated phases of
+//                             strategy[:BEGIN-END][,rate=R][,load=L]
+//                             [,diurnal=P], plus mix(a*2+b) bodies and
+//                             replay(trace.csv) (adversary/campaign.h)
 //            --n0=N --seed=S  (comma lists with --sweep: grid axes)
 //            --batch-size=B   events per step (§5 batches; default 1;
 //                              comma list with --sweep)
@@ -173,6 +179,7 @@ void print_usage(std::FILE* out) {
   std::fprintf(
       out,
       "usage: dex_sim_cli [--backend=NAMES] [--scenario=NAMES] [--n0=N,..]\n"
+      "                   [--campaign=SPEC]\n"
       "                   [--steps=N] [--seed=S,..] [--min-n=N] [--max-n=N]\n"
       "                   [--warmup=N] [--insert-prob=P] [--gap-every=K]\n"
       "                   [--batch-size=B,..] [--burst=K] [--no-trace]\n"
@@ -199,6 +206,21 @@ void print_usage(std::FILE* out) {
       "trace streams to stdout (or --csv FILE) and one JSON summary per\n"
       "trial to stderr (or --json FILE). Same --seed => same adversary\n"
       "decision sequence across backends.\n"
+      "\n"
+      "--campaign runs a *phased* adversary instead of one --scenario\n"
+      "strategy: ';'-separated phases of NAME[:BEGIN-END][,rate=R][,load=L]\n"
+      "[,diurnal=P] — half-open step ranges (omitted = chained after the\n"
+      "previous phase; END omitted = open), rate in [0,1] thins the phase's\n"
+      "batch budget, load scales the traffic stream while the phase is\n"
+      "active (diurnal=P makes it the peak of a P-step triangle wave).\n"
+      "Bodies can also be mix(a*2+b*1) — per-step weighted draw — or\n"
+      "replay(trace.csv), replaying a recorded churn trace's op/target\n"
+      "columns. Example:\n"
+      "  --campaign 'flash-crowd:0-50;mass-failure:50-60,rate=0.3;burst:60-'\n"
+      "Steps covered by no phase are quiet (no churn, unit load). The\n"
+      "campaign string is archived in the summary's campaign field, and all\n"
+      "byte-determinism contracts (--jobs/--trial-jobs/--shards, engine\n"
+      "equivalence at fixed:0/loss 0) hold under campaigns unchanged.\n"
       "\n"
       "--workload serves key-value traffic through every overlay between\n"
       "churn steps (requests route via p-cycle paths on DEX, BFS on the\n"
@@ -249,6 +271,7 @@ int run_scenario(int argc, char** argv) {
   bool traffic_knob = false;
   bool event_knob = false;
   bool serve_knob = false;
+  bool scenario_knob = false;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -257,6 +280,9 @@ int run_scenario(int argc, char** argv) {
         a.backends = split_csv(v);
       } else if (parse_flag(argc, argv, i, "scenario", v)) {
         a.scenarios = split_csv(v);
+        scenario_knob = true;
+      } else if (parse_flag(argc, argv, i, "campaign", v)) {
+        a.spec.campaign = v;
       } else if (parse_flag(argc, argv, i, "n0", v)) {
         a.n0s.clear();
         for (const auto& s : split_csv(v)) a.n0s.push_back(parse_u64(s));
@@ -404,6 +430,20 @@ int run_scenario(int argc, char** argv) {
       return 2;
     }
   }
+  if (!a.spec.campaign.empty()) {
+    // The campaign's phases name their own strategies, so a scenario axis
+    // next to it would be dead weight at best and contradictory at worst.
+    if (scenario_knob) {
+      std::fprintf(stderr,
+                   "--campaign replaces --scenario; give one or the other\n");
+      return 2;
+    }
+    std::string campaign_err;
+    if (!dex::sim::parse_campaign_spec(a.spec.campaign, &campaign_err)) {
+      std::fprintf(stderr, "bad --campaign: %s\n", campaign_err.c_str());
+      return 2;
+    }
+  }
   const auto& workloads = dex::sim::known_workloads();
   if (a.spec.traffic.enabled()) {
     const auto& t = a.spec.traffic;
@@ -506,8 +546,13 @@ int run_scenario(int argc, char** argv) {
   plan.opts = a.opts;
   // Fold the strategy knob into the label so the archived summary records
   // the full workload, not just its name.
+  // A campaign supersedes the scenario axis: the unused default scenario
+  // name must not leak into the archived label (the campaign string itself
+  // is echoed as the summary's `campaign` field).
+  if (!a.spec.campaign.empty()) plan.base.label = "campaign";
   plan.customize = [&a](dex::sim::TrialSpec& t) {
-    if (t.scenario == "churn" || t.scenario == "burst") {
+    if (t.spec.campaign.empty() &&
+        (t.scenario == "churn" || t.scenario == "burst")) {
       char buf[48];
       std::snprintf(buf, sizeof(buf), "(insert_prob=%g)", a.opts.insert_prob);
       t.spec.label += buf;

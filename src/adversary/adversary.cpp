@@ -392,6 +392,218 @@ sim::ChurnBatch CorrelatedFailure::next_batch(const AdversaryView& view,
   return batch;
 }
 
+sim::ChurnBatch OracleBuster::next_batch(const AdversaryView& view,
+                                         support::Rng& rng, std::size_t min_n,
+                                         std::size_t max_n,
+                                         std::size_t batch_size) {
+  sim::ChurnBatch batch;
+  const std::size_t n = view.n();
+  const std::size_t floor_n = delete_floor(min_n);
+  std::size_t deletes =
+      n > floor_n ? std::min(batch_size / 2, n - floor_n) : 0;
+  const std::size_t inserts =
+      std::min(batch_size - deletes, max_n > n ? max_n - n : 0);
+  const auto g = view.snapshot();
+  const auto mask = view.alive_mask();
+  const auto nodes = view.alive_nodes();
+  // Ring the candidates by BFS distance from a random epicenter and
+  // consume the rings round-robin, farthest first — consecutive victims
+  // land in different regions, which is exactly what defeats a
+  // locality-amortizing oracle memo.
+  const NodeId epicenter = nodes[rng.below(nodes.size())];
+  const auto dist = graph::bfs_distances(g, epicenter, mask);
+  std::uint32_t max_d = 0;
+  for (NodeId u : nodes) {
+    if (dist[u] != graph::kUnreached) max_d = std::max(max_d, dist[u]);
+  }
+  std::vector<std::vector<NodeId>> rings(static_cast<std::size_t>(max_d) + 1);
+  for (NodeId u : nodes) {
+    if (dist[u] != graph::kUnreached) rings[dist[u]].push_back(u);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes.size());
+  for (std::size_t depth = 0; order.size() < nodes.size(); ++depth) {
+    bool any = false;
+    for (std::size_t r = rings.size(); r-- > 0;) {
+      if (depth < rings[r].size()) {
+        order.push_back(rings[r][depth]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  if (deletes > 0) batch.victims = sample_safe_victims(g, mask, order, deletes);
+  const std::unordered_set<NodeId> dying(batch.victims.begin(),
+                                         batch.victims.end());
+  // Attach points scatter the same way: walk the interleaved ring order so
+  // newcomers (and the key ranges they take over) spread across regions.
+  std::unordered_map<NodeId, std::size_t> mult;
+  std::size_t placed = 0;
+  for (NodeId a : order) {
+    if (placed >= inserts) break;
+    if (dying.contains(a) || mult[a] >= sim::kMaxAttachPerNode) continue;
+    batch.attach_to.push_back(a);
+    ++mult[a];
+    ++placed;
+  }
+  return batch;
+}
+
+std::vector<std::uint32_t> ChordAttack::chord_scores(
+    const AdversaryView& view, support::Rng& rng, const graph::Multigraph& g,
+    const std::vector<bool>& mask) const {
+  const auto nodes = view.alive_nodes();
+  std::vector<std::uint32_t> score(g.node_count(), 0);
+  // Betweenness proxy: over a few random BFS roots, credit u once per
+  // downhill edge it feeds (dist[w] == dist[u] + 1) — nodes carrying many
+  // shortest-path trees are the chord/shortcut carriers.
+  for (std::size_t s = 0; s < sources_; ++s) {
+    const NodeId src = nodes[rng.below(nodes.size())];
+    const auto dist = graph::bfs_distances(g, src, mask);
+    for (NodeId u : nodes) {
+      if (dist[u] == graph::kUnreached) continue;
+      for (NodeId w : g.ports(u)) {
+        if (w != u && mask[w] && dist[w] == dist[u] + 1) ++score[u];
+      }
+    }
+  }
+  return score;
+}
+
+ChurnAction ChordAttack::next(const AdversaryView& view, support::Rng& rng,
+                              std::size_t min_n, std::size_t max_n) {
+  insert_next_ = !insert_next_;
+  const bool ins = must_insert(view, min_n) ||
+                   (insert_next_ && !must_delete(view, max_n));
+  if (ins) return {true, random_alive(view, rng)};
+  const auto g = view.snapshot();
+  const auto mask = view.alive_mask();
+  const auto score = chord_scores(view, rng, g, mask);
+  NodeId best = graph::kInvalidNode;
+  for (NodeId u : view.alive_nodes()) {
+    if (best == graph::kInvalidNode || score[u] > score[best]) best = u;
+  }
+  return {false, best};
+}
+
+sim::ChurnBatch ChordAttack::next_batch(const AdversaryView& view,
+                                        support::Rng& rng, std::size_t min_n,
+                                        std::size_t max_n,
+                                        std::size_t batch_size) {
+  sim::ChurnBatch batch;
+  const std::size_t n = view.n();
+  const std::size_t floor_n = delete_floor(min_n);
+  if (n <= floor_n) {
+    const std::size_t inserts =
+        std::min(batch_size, max_n > n ? max_n - n : 0);
+    push_capped_attaches(view, rng, {}, inserts, batch.attach_to);
+    return batch;
+  }
+  const std::size_t deletes = std::min(batch_size, n - floor_n);
+  const auto g = view.snapshot();
+  const auto mask = view.alive_mask();
+  const auto score = chord_scores(view, rng, g, mask);
+  auto order = view.alive_nodes();
+  std::stable_sort(order.begin(), order.end(),
+                   [&score](NodeId a, NodeId b) { return score[a] > score[b]; });
+  batch.victims = sample_safe_victims(g, mask, order, deletes);
+  if (batch.empty() && n < max_n) {
+    batch.attach_to.push_back(random_alive(view, rng));
+  }
+  return batch;
+}
+
+ChurnAction SpectralBatch::next(const AdversaryView& view, support::Rng& rng,
+                                std::size_t min_n, std::size_t max_n) {
+  if (must_insert(view, min_n)) return {true, random_alive(view, rng)};
+  const auto g = view.snapshot();
+  const auto mask = view.alive_mask();
+  const auto cut = graph::sweep_cut(g, mask);
+  if (!cut.side.empty() && !must_delete(view, max_n)) {
+    // Single-event mode: peel the cut side one boundary node at a time.
+    NodeId best = cut.side.front();
+    std::size_t best_out = 0;
+    std::vector<bool> in_side(g.node_count(), false);
+    for (NodeId u : cut.side) in_side[u] = true;
+    for (NodeId u : cut.side) {
+      std::size_t out = 0;
+      for (NodeId w : g.ports(u)) {
+        if (w != u && mask[w] && !in_side[w]) ++out;
+      }
+      if (out > best_out) {
+        best_out = out;
+        best = u;
+      }
+    }
+    return {false, best};
+  }
+  return {false, random_alive(view, rng)};
+}
+
+sim::ChurnBatch SpectralBatch::next_batch(const AdversaryView& view,
+                                          support::Rng& rng,
+                                          std::size_t min_n,
+                                          std::size_t max_n,
+                                          std::size_t batch_size) {
+  sim::ChurnBatch batch;
+  const std::size_t n = view.n();
+  const std::size_t floor_n = delete_floor(min_n);
+  const auto g = view.snapshot();
+  const auto mask = view.alive_mask();
+  const auto cut = graph::sweep_cut(g, mask);
+  std::vector<bool> in_side(g.node_count(), false);
+  for (NodeId u : cut.side) in_side[u] = true;
+  if (n > floor_n && !cut.side.empty()) {
+    const std::size_t deletes = std::min(batch_size, n - floor_n);
+    // Boundary-first: the cut-side nodes with the most cut-crossing edges
+    // are the ones holding the two halves together.
+    std::vector<std::size_t> crossing(g.node_count(), 0);
+    for (NodeId u : cut.side) {
+      for (NodeId w : g.ports(u)) {
+        if (w != u && mask[w] && !in_side[w]) ++crossing[u];
+      }
+    }
+    auto order = cut.side;
+    std::stable_sort(order.begin(), order.end(),
+                     [&crossing](NodeId a, NodeId b) {
+                       return crossing[a] > crossing[b];
+                     });
+    batch.victims = sample_safe_victims(g, mask, order, deletes);
+  }
+  // Leftover budget: grow the opposite side, starving the cut of repair
+  // material (mirrors SpectralAttack's anchor, at batch multiplicity).
+  const std::size_t leftover =
+      batch_size > batch.victims.size() ? batch_size - batch.victims.size()
+                                        : 0;
+  const std::size_t inserts = std::min(leftover, max_n > n ? max_n - n : 0);
+  if (inserts > 0) {
+    const std::unordered_set<NodeId> dying(batch.victims.begin(),
+                                           batch.victims.end());
+    std::vector<NodeId> anchors;
+    for (NodeId u : view.alive_nodes()) {
+      if (!in_side[u] && !dying.contains(u)) anchors.push_back(u);
+    }
+    if (anchors.empty()) {
+      push_capped_attaches(view, rng, dying, inserts, batch.attach_to);
+    } else {
+      std::size_t placed = 0;
+      for (std::size_t depth = 0; placed < inserts; ++depth) {
+        bool any = false;
+        for (NodeId a : anchors) {
+          if (placed >= inserts) break;
+          if (depth < sim::kMaxAttachPerNode) {
+            batch.attach_to.push_back(a);
+            ++placed;
+            any = true;
+          }
+        }
+        if (!any) break;
+      }
+    }
+  }
+  return batch;
+}
+
 ChurnAction Scripted::next(const AdversaryView& view, support::Rng& rng,
                            std::size_t /*min_n*/, std::size_t /*max_n*/) {
   (void)view;

@@ -252,6 +252,68 @@ class CorrelatedFailure final : public Strategy {
                              std::size_t batch_size) override;
 };
 
+/// Oracle-cache-busting churn, batch-native: every step scatters victims
+/// and attach points across as many distinct topology regions as possible —
+/// candidates are ringed by BFS distance from a random epicenter and
+/// consumed round-robin across rings, farthest rings first. Each event then
+/// re-homes keys and forces route queries rooted in a different region, so
+/// the DistanceOracle's fixed-size root memo (sim/oracle.h) keeps missing
+/// instead of amortizing — the access pattern the memo is worst at.
+class OracleBuster final : public Strategy {
+ public:
+  /// Single-event fallback: uniform churn (the scatter pattern only exists
+  /// at batch scale).
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override {
+    return single_.next(view, rng, min_n, max_n);
+  }
+  sim::ChurnBatch next_batch(const AdversaryView& view, support::Rng& rng,
+                             std::size_t min_n, std::size_t max_n,
+                             std::size_t batch_size) override;
+
+ private:
+  RandomChurn single_;
+};
+
+/// p-cycle chord targeting, batch-native: scores each node by how many
+/// shortest-path trees it carries (a betweenness proxy — over a handful of
+/// random BFS roots, count the child edges a node feeds) and deletes the
+/// top carriers §5-safely. On DEX this aims at the nodes whose p-cycle
+/// chords (§4) provide the long-range shortcuts; on the baselines it strips
+/// whatever carries their small diameter.
+class ChordAttack final : public Strategy {
+ public:
+  explicit ChordAttack(std::size_t sources = 8) : sources_(sources) {}
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+  sim::ChurnBatch next_batch(const AdversaryView& view, support::Rng& rng,
+                             std::size_t min_n, std::size_t max_n,
+                             std::size_t batch_size) override;
+
+ private:
+  std::vector<std::uint32_t> chord_scores(const AdversaryView& view,
+                                          support::Rng& rng,
+                                          const graph::Multigraph& g,
+                                          const std::vector<bool>& mask) const;
+  std::size_t sources_;
+  bool insert_next_ = false;
+};
+
+/// SpectralAttack at batch scale: each batch recomputes the sweep cut of
+/// the *current* topology, deletes the sparse side boundary-first (nodes
+/// with the most cut-crossing edges go first, thinned §5-safely), and
+/// spends any leftover budget on insertions anchored to the opposite side —
+/// so the whole εn batch lands on one cut instead of dribbling out an event
+/// at a time.
+class SpectralBatch final : public Strategy {
+ public:
+  ChurnAction next(const AdversaryView& view, support::Rng& rng,
+                   std::size_t min_n, std::size_t max_n) override;
+  sim::ChurnBatch next_batch(const AdversaryView& view, support::Rng& rng,
+                             std::size_t min_n, std::size_t max_n,
+                             std::size_t batch_size) override;
+};
+
 /// Replays a fixed script (tests). Exactly script.size() actions are
 /// allowed: next() and next_batch() abort (DEX_ASSERT, active in every
 /// build) when the script is exhausted — a driver asking for more steps

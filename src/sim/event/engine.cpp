@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "graph/spectral.h"
@@ -46,6 +47,9 @@ struct PendingStep {
   std::size_t expected = 0;  ///< churn deliveries launched
   std::size_t arrived = 0;   ///< ... and landed so far
   std::size_t ops_done = 0;  ///< traffic requests served so far
+  /// Traffic requests this step owes (batch traffic mode): ops_per_step,
+  /// scaled by the campaign load curve when one is active.
+  std::size_t ops_expected = 0;
   std::uint64_t dropped = 0;
   bool batch_step = false;  ///< want > 1 (parallel_steps accounting)
   StepRecord rec;
@@ -117,12 +121,24 @@ ScenarioResult EventEngine::run() {
         std::make_unique<TrafficEngine>(overlay_, spec_.traffic, spec_.seed);
   }
 
+  // A non-empty campaign: injections always go through next_batch (quiet /
+  // rate-gated phases return legal empty batches) and the per-step traffic
+  // budget follows the load curve. Parsed here only for the load curve —
+  // the strategy object already embodies the phases.
+  std::optional<adversary::CampaignSpec> campaign;
+  if (!spec_.campaign.empty()) {
+    std::string campaign_err;
+    campaign = parse_campaign_spec(spec_.campaign, &campaign_err);
+    DEX_ASSERT_MSG(campaign.has_value(), "invalid campaign spec");
+  }
+
   // The serving front-end: closed-loop clients replace the per-step request
   // batches. The total op budget stays steps x ops_per_step — the same
-  // offered work as batch mode — split round-robin across clients, and a
-  // shed attempt consumes budget like a completed one, so
-  // completed + shed == steps x ops_per_step always (the conservation
-  // invariant tests/test_serve.cpp pins).
+  // offered work as batch mode (the campaign load curve scales it per step
+  // before the split) — divided round-robin across clients, and a shed
+  // attempt consumes budget like a completed one, so
+  // completed + shed == offered always (the conservation invariant
+  // tests/test_serve.cpp pins).
   const bool serving = spec_.serve.enabled;
   DEX_ASSERT_MSG(!serving || traffic,
                  "serve mode requires a traffic workload");
@@ -133,7 +149,9 @@ ScenarioResult EventEngine::run() {
     serve_state = std::make_unique<serve::ServeState>(spec_.serve);
     clients.resize(spec_.serve.clients);
     const std::uint64_t budget =
-        static_cast<std::uint64_t>(spec_.steps) * spec_.traffic.ops_per_step;
+        campaign ? campaign->total_ops(spec_.traffic.ops_per_step, spec_.steps)
+                 : static_cast<std::uint64_t>(spec_.steps) *
+                       spec_.traffic.ops_per_step;
     for (std::size_t c = 0; c < clients.size(); ++c) {
       clients[c].remaining =
           budget / clients.size() + (c < budget % clients.size() ? 1 : 0);
@@ -281,8 +299,10 @@ ScenarioResult EventEngine::run() {
     // Filter constituents invalidated by churn that settled while this
     // batch was in flight (only possible when latency outruns the injection
     // period): dead victims, dead attach points, and trailing deletions
-    // that would now empty the network. Each filtered event is a dropped
-    // delivery — the overlay never sees it.
+    // that would now push the population below the overlay's structural
+    // floor (HealingOverlay::min_population — the flip chain, for one,
+    // cannot rewire a departure below d+2 alive nodes). Each filtered
+    // event is a dropped delivery — the overlay never sees it.
     ChurnBatch live;
     live.victims.reserve(p.batch.victims.size());
     live.attach_to.reserve(p.batch.attach_to.size());
@@ -293,8 +313,9 @@ ScenarioResult EventEngine::run() {
         ++p.dropped;
       }
     }
+    const std::size_t floor_n = overlay_.min_population();
     while (!live.victims.empty() &&
-           overlay_.n() <= live.victims.size() + 2) {
+           overlay_.n() < live.victims.size() + floor_n) {
       live.victims.pop_back();
       ++p.dropped;
     }
@@ -336,7 +357,11 @@ ScenarioResult EventEngine::run() {
         const std::size_t want =
             burst ? std::max<std::size_t>(spec_.batch_size, 1) : 1;
         ChurnBatch batch;
-        if (want <= 1) {
+        if (campaign) {
+          // Campaign steps are batch-first even at want == 1 — empty
+          // batches are how quiet phases and rate gates manifest.
+          batch = strategy_.next_batch(view, rng, min_n, max_n, want);
+        } else if (want <= 1) {
           const adversary::ChurnAction a =
               strategy_.next(view, rng, min_n, max_n);
           if (a.insert) {
@@ -411,10 +436,13 @@ ScenarioResult EventEngine::run() {
           tic();
           p.traffic = traffic->begin_step(view);
           toc(result.traffic_us);
-          if (spec_.traffic.ops_per_step > 0) {
+          p.ops_expected =
+              campaign ? campaign->scaled_ops(spec_.traffic.ops_per_step, t)
+                       : spec_.traffic.ops_per_step;
+          if (p.ops_expected > 0) {
             // Requests fire back-to-back at settle time; latency shapes the
             // *churn* pipeline, while request loss below shapes serving.
-            for (std::size_t i = 0; i < spec_.traffic.ops_per_step; ++i) {
+            for (std::size_t i = 0; i < p.ops_expected; ++i) {
               queue.push(ev.time, kTrafficOp, t);
             }
             break;
@@ -437,7 +465,7 @@ ScenarioResult EventEngine::run() {
         tic();
         traffic->serve_one(p.traffic);
         toc(result.traffic_us);
-        if (++p.ops_done == spec_.traffic.ops_per_step) finalize(t, ev.time);
+        if (++p.ops_done == p.ops_expected) finalize(t, ev.time);
         break;
       }
       case kOpIssue: {

@@ -62,9 +62,18 @@ std::vector<TrialSpec> ExperimentPlan::expand() const {
               };
             }
             if (!t.make_strategy) {
-              t.make_strategy = [scenario = t.scenario, opts = t.opts] {
-                return sim::make_strategy(scenario, opts);
-              };
+              if (!t.spec.campaign.empty()) {
+                // A campaign spec on the trial overrides the scenario axis:
+                // the phases name their own strategies.
+                t.make_strategy = [campaign = t.spec.campaign,
+                                   opts = t.opts] {
+                  return sim::make_campaign_strategy(campaign, opts);
+                };
+              } else {
+                t.make_strategy = [scenario = t.scenario, opts = t.opts] {
+                  return sim::make_strategy(scenario, opts);
+                };
+              }
             }
             trials.push_back(std::move(t));
           }

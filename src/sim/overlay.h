@@ -86,6 +86,14 @@ class HealingOverlay {
   /// Deletes `victim` (must be alive); the overlay heals before returning.
   virtual void remove(NodeId victim) = 0;
 
+  /// The smallest population deletions may leave behind. 3 for most
+  /// overlays ("never empty the network"); constructions with structural
+  /// floors raise it — the d-regular flip chain needs d+2 alive nodes to
+  /// rewire around a departure, Law–Siu keeps 4. Callers that trim delete
+  /// batches (the event engine's racing-churn filter) must keep
+  /// n() - victims >= this floor or remove() asserts.
+  [[nodiscard]] virtual std::size_t min_population() const { return 3; }
+
   // ----- read-only views -----
 
   [[nodiscard]] virtual std::size_t n() const = 0;
@@ -447,6 +455,7 @@ class LawSiuOverlay final : public OverlayAdapter<baselines::LawSiuNetwork> {
   [[nodiscard]] const char* name() const override { return "lawsiu"; }
   NodeId insert(NodeId /*attach_to*/) override { return net_.insert(); }
   void remove(NodeId victim) override { net_.remove(victim); }
+  [[nodiscard]] std::size_t min_population() const override { return 4; }
   [[nodiscard]] std::size_t load(NodeId u) const override {
     return net_.degree(u);
   }
@@ -462,14 +471,20 @@ class RandomFlipOverlay final
  public:
   RandomFlipOverlay(std::size_t n0, std::size_t d, std::uint64_t seed,
                     std::size_t flips_per_step = 4)
-      : OverlayAdapter(n0, d, seed, flips_per_step) {}
+      : OverlayAdapter(n0, d, seed, flips_per_step), d_(d) {}
 
   [[nodiscard]] const char* name() const override { return "randomflip"; }
   NodeId insert(NodeId /*attach_to*/) override { return net_.insert(); }
   void remove(NodeId victim) override { net_.remove(victim); }
+  /// The flip chain rewires a departure through d surviving edges, so it
+  /// refuses to delete below d+2 alive nodes.
+  [[nodiscard]] std::size_t min_population() const override { return d_ + 2; }
   [[nodiscard]] std::size_t load(NodeId u) const override {
     return net_.degree(u);
   }
+
+ private:
+  std::size_t d_;
 };
 
 class XhealOverlay final : public OverlayAdapter<xheal::XhealNetwork> {

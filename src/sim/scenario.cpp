@@ -251,6 +251,18 @@ ScenarioResult ScenarioRunner::run() {
         std::make_unique<TrafficEngine>(overlay_, spec_.traffic, spec_.seed);
   }
 
+  // A non-empty campaign reshapes the loop in two ways: every step goes
+  // through next_batch (so rate-gated/quiet phases can express themselves
+  // as empty batches), and the traffic budget follows the per-step load
+  // curve. The spec is re-parsed here only for the load curve — the
+  // strategy object the caller handed us already embodies the phases.
+  std::optional<adversary::CampaignSpec> campaign;
+  if (!spec_.campaign.empty()) {
+    std::string campaign_err;
+    campaign = parse_campaign_spec(spec_.campaign, &campaign_err);
+    DEX_ASSERT_MSG(campaign.has_value(), "invalid campaign spec");
+  }
+
   ScenarioResult result;
   result.backend = overlay_.name();
   result.spec = spec_;
@@ -285,7 +297,12 @@ ScenarioResult ScenarioRunner::run() {
     const std::size_t want =
         burst ? std::max<std::size_t>(spec_.batch_size, 1) : 1;
     sim::ChurnBatch batch;
-    if (want <= 1) {
+    if (campaign) {
+      // Campaign steps are batch-first even at want == 1: empty batches are
+      // how quiet phases and rate gates manifest, and next() cannot say
+      // "nothing this step".
+      batch = strategy_.next_batch(view, rng, min_n, max_n, want);
+    } else if (want <= 1) {
       // Single-event steps keep the PR-1 decision path (one next() draw, so
       // legacy specs replay the same strategy stream) but the event goes
       // through the same apply() surface as every batch — one churn
@@ -314,7 +331,18 @@ ScenarioResult ScenarioRunner::run() {
     rec.n = overlay_.n();
     if (traffic) {
       tic();
-      const TrafficStepStats ts = traffic->step(view);
+      TrafficStepStats ts;
+      if (campaign) {
+        // Scale the step's op budget by the campaign load curve through the
+        // documented begin_step + N × serve_one ≡ step equivalence, so a
+        // flat load=1 campaign stays byte-identical to no campaign at all.
+        ts = traffic->begin_step(view);
+        const std::size_t ops =
+            campaign->scaled_ops(spec_.traffic.ops_per_step, t);
+        for (std::size_t i = 0; i < ops; ++i) traffic->serve_one(ts);
+      } else {
+        ts = traffic->step(view);
+      }
       toc(result.traffic_us);
       rec.ops = ts.ops;
       rec.op_hops = ts.op_hops;
@@ -391,6 +419,9 @@ std::unique_ptr<adversary::Strategy> make_strategy(
   if (scenario == "flash-crowd") return std::make_unique<FlashCrowd>();
   if (scenario == "mass-failure")
     return std::make_unique<CorrelatedFailure>();
+  if (scenario == "oracle-bust") return std::make_unique<OracleBuster>();
+  if (scenario == "chord-cut") return std::make_unique<ChordAttack>();
+  if (scenario == "spectral-batch") return std::make_unique<SpectralBatch>();
   return nullptr;
 }
 
@@ -407,8 +438,30 @@ const std::vector<std::string>& known_strategies() {
       "burst",
       "flash-crowd",
       "mass-failure",
+      "oracle-bust",
+      "chord-cut",
+      "spectral-batch",
   };
   return names;
+}
+
+std::optional<adversary::CampaignSpec> parse_campaign_spec(
+    const std::string& text, std::string* error) {
+  std::string err;
+  auto spec = adversary::parse_campaign(text, known_strategies(), err);
+  if (!spec && error != nullptr) *error = err;
+  return spec;
+}
+
+std::unique_ptr<adversary::Strategy> make_campaign_strategy(
+    const std::string& campaign, const StrategyOptions& opts) {
+  std::string err;
+  auto spec = parse_campaign_spec(campaign, &err);
+  DEX_ASSERT_MSG(spec.has_value(), "invalid campaign spec");
+  return std::make_unique<adversary::CampaignStrategy>(
+      std::move(*spec), [opts](const std::string& name) {
+        return make_strategy(name, opts);
+      });
 }
 
 const char* strategy_names() {
@@ -523,6 +576,7 @@ std::string summary_json(const ScenarioResult& result) {
   metrics::JsonObject o;
   o.add("backend", result.backend);
   if (!result.spec.label.empty()) o.add("scenario", result.spec.label);
+  if (!result.spec.campaign.empty()) o.add("campaign", result.spec.campaign);
   o.add("seed", result.spec.seed)
       .add("steps", static_cast<std::uint64_t>(result.rounds.count))
       .add("batch_size", static_cast<std::uint64_t>(result.spec.batch_size))

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "adversary/adversary.h"
+#include "adversary/campaign.h"
 #include "metrics/histogram.h"
 #include "metrics/stats.h"
 #include "serve/serve.h"
@@ -87,6 +88,16 @@ struct ScenarioSpec {
   /// summary JSON (the determinism contract covers bytes, not wall time),
   /// but benches (bench_scale) read them to attribute per-step cost.
   bool time_phases = false;
+  /// Phased adversary campaign (adversary/campaign.h), as the compact
+  /// string `--campaign` accepts. Empty (the default) = drive the single
+  /// strategy the classic way. Non-empty: the engines route *every* step
+  /// through Strategy::next_batch — rate-gated and quiet phases come back
+  /// as legal empty batches — and scale the traffic stream by the
+  /// campaign's per-step load curve. A plain string so it flows through
+  /// ExperimentPlan/Executor untouched; it is archived in the summary.
+  /// Malformed specs abort inside the engines — validate up front with
+  /// parse_campaign_spec (the CLI does).
+  std::string campaign;
   /// Free-form scenario/strategy label identifying the workload in the
   /// emitted summary. The summary records every ScenarioSpec parameter;
   /// strategy-internal knobs (a Strategy is an opaque object) are the
@@ -333,8 +344,11 @@ class ScenarioRunner {
 /// "churn", "insert-only", "delete-only", "oscillate", "targeted"
 /// (coordinator killer), "load-attack", "spectral", "greedy-spectral",
 /// plus the batch-native workloads "burst" (mixed §5-safe bursts),
-/// "flash-crowd" (insert waves) and "mass-failure" (correlated clustered
-/// deletions). Returns nullptr for unknown names.
+/// "flash-crowd" (insert waves), "mass-failure" (correlated clustered
+/// deletions), "oracle-bust" (region-scattering churn that defeats the
+/// DistanceOracle's root memo), "chord-cut" (betweenness-proxy deletion of
+/// p-cycle chord carriers) and "spectral-batch" (whole-batch sweep-cut
+/// demolition). Returns nullptr for unknown names.
 struct StrategyOptions {
   double insert_prob = 0.5;      ///< churn, burst (insert fraction)
   std::size_t half_period = 32;  ///< oscillate
@@ -348,6 +362,18 @@ struct StrategyOptions {
 
 /// Comma-separated list of valid scenario names (for usage messages).
 [[nodiscard]] const char* strategy_names();
+
+/// Parses a `--campaign` string against the strategy registry above
+/// (adversary::parse_campaign with known_strategies() as the name list).
+/// nullopt + a single-line actionable message in *error on failure.
+[[nodiscard]] std::optional<adversary::CampaignSpec> parse_campaign_spec(
+    const std::string& text, std::string* error = nullptr);
+
+/// Builds the CampaignStrategy for a campaign string, wiring make_strategy
+/// (with `opts`) as the per-phase sub-strategy factory. The string must
+/// parse — run parse_campaign_spec first; this asserts on failure.
+[[nodiscard]] std::unique_ptr<adversary::Strategy> make_campaign_strategy(
+    const std::string& campaign, const StrategyOptions& opts = {});
 
 /// The canonical trace columns: step,op,target,new_node,n,rounds,messages,
 /// topology_changes,batch_inserts,batch_deletes,walk_epochs,used_type2,

@@ -67,6 +67,26 @@ expect_reject "serve spec out of range" \
 expect_reject "serve spec out of range" \
   "${base[@]}" --engine event --workload uniform --serve --shards 0
 
+# Malformed --campaign specs surface the parser's actionable one-liner
+# (phase index, offending token, valid alternatives), and a campaign next
+# to a --scenario axis is contradictory.
+nosc=(--backend lawsiu --n0 32 --steps 5)
+expect_reject "replaces --scenario" "${base[@]}" --campaign "churn:0-"
+expect_reject "unknown strategy 'bogus'" "${nosc[@]}" --campaign "bogus:0-"
+expect_reject "bad range" "${nosc[@]}" --campaign "churn:9-3"
+expect_reject "rate must be" "${nosc[@]}" --campaign "churn:0-,rate=2"
+expect_reject "open-ended" "${nosc[@]}" --campaign "churn;burst"
+expect_reject "bad --campaign" "${nosc[@]}" --campaign "mix(churn:0-"
+
+# Positive control: a well-formed campaign run must succeed.
+if ! "$cli" "${nosc[@]}" --campaign "churn:0-2;burst:2-" \
+    --no-trace --json /dev/null >/dev/null 2>&1; then
+  echo "FAIL: well-formed campaign invocation did not exit 0"
+  failures=$((failures + 1))
+else
+  echo "ok   [control] well-formed campaign run exits 0"
+fi
+
 # Positive control: the same base invocation, well-formed, must succeed —
 # otherwise the rejections above prove nothing.
 if ! "$cli" "${base[@]}" --engine event --workload uniform --serve \
