@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   threads.reserve(producers);
   for (std::size_t p = 0; p < producers; ++p) {
     threads.emplace_back([&, p] {
-      dex::support::Rng rng(0x5e12e + p);
+      constexpr std::uint64_t kProducerSeed = 0x5e12e;
+      dex::support::Rng rng(kProducerSeed + p);
       for (std::size_t i = 0; i < ops_each; ++i) {
         dex::serve::ShardedKvServer::Request req;
         req.read = rng.chance(0.5);

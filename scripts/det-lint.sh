@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs the determinism lint (tools/det_lint.py) over src/, tools/ and
+# examples/. Exits 0 with a notice when python3 is unavailable so the
+# script can run unconditionally in local hooks; CI always has python3
+# and gets the real check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "det-lint: python3 not found; skipping" >&2
+  exit 0
+fi
+
+python3 tools/det_lint.py "$@"

@@ -17,7 +17,8 @@ while IFS= read -r -d '' f; do
     echo "needs formatting: $f"
     fail=1
   fi
-done < <(find src bench examples tests \
+done < <(find src bench examples tests tools \
+              -path tests/det_lint_fixtures -prune -o \
               \( -name '*.h' -o -name '*.cpp' \) -print0)
 
 if [ "$fail" -ne 0 ]; then

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# clang-tidy gate with a checked-in baseline.
+#
+# Findings are normalized to `<repo-relative-file> <check-name>` pairs and
+# compared against tools/tidy_baseline.txt: only pairs NOT in the baseline
+# fail the gate, so pre-existing debt never blocks CI while every *new*
+# finding does. Burn down debt by fixing a site and deleting its baseline
+# line, or legitimize a new finding with --update-baseline (review the
+# diff!).
+#
+# Usage: scripts/tidy-check.sh [--update-baseline] [file.cpp ...]
+#   BUILD_DIR=dir   build tree holding compile_commands.json (default:
+#                   build; configured automatically when missing)
+#   TIDY_JOBS=n     parallel clang-tidy processes (default: nproc)
+#
+# Exits 0 with a notice when clang-tidy is unavailable (e.g. minimal
+# containers) so the script can run unconditionally in local hooks; CI
+# installs clang-tidy and gets the real check. On failure the new-finding
+# delta is left in $BUILD_DIR/tidy_delta.txt (uploaded as a CI artifact).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=tools/tidy_baseline.txt
+BUILD_DIR=${BUILD_DIR:-build}
+TIDY_JOBS=${TIDY_JOBS:-$(nproc 2>/dev/null || echo 2)}
+
+update=0
+files=()
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) update=1 ;;
+    *) files+=("$arg") ;;
+  esac
+done
+
+TIDY_BIN=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY_BIN" >/dev/null 2>&1; then
+  echo "tidy-check: $TIDY_BIN not found; skipping" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "tidy-check: configuring $BUILD_DIR for compile_commands.json" >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    >/dev/null
+fi
+
+if [ "${#files[@]}" -eq 0 ]; then
+  while IFS= read -r -d '' f; do
+    files+=("$f")
+  done < <(find src -name '*.cpp' -print0 | sort -z)
+fi
+
+raw="$BUILD_DIR/tidy_raw.txt"
+current="$BUILD_DIR/tidy_current.txt"
+delta="$BUILD_DIR/tidy_delta.txt"
+
+# clang-tidy exits non-zero on any warning; the gate below decides
+# pass/fail, so tolerate per-file failures and keep the diagnostics.
+printf '%s\0' "${files[@]}" |
+  xargs -0 -n1 -P "$TIDY_JOBS" \
+    "$TIDY_BIN" -p "$BUILD_DIR" --quiet >"$raw" 2>/dev/null || true
+
+# "/abs/path/src/foo.cpp:12:5: warning: ... [check-name]"
+#   -> "src/foo.cpp check-name", repo-relative, one line per finding site,
+#      deduped to file:check granularity.
+sed -n 's/^\([^ :][^:]*\):[0-9][0-9]*:[0-9][0-9]*: warning: .*\[\([a-z0-9.,-]*\)\]$/\1 \2/p' \
+    "$raw" |
+  sed "s|^$PWD/||" |
+  tr ',' '\n' |
+  awk 'NF == 2 { file = $1; check = $2 } NF == 1 { check = $1 }
+       check != "" { print file, check }' |
+  sort -u >"$current"
+
+if [ "$update" -eq 1 ]; then
+  {
+    echo "# clang-tidy baseline: '<file> <check>' pairs already present in"
+    echo "# the tree. scripts/tidy-check.sh fails only on pairs missing"
+    echo "# here. Regenerate with: scripts/tidy-check.sh --update-baseline"
+    cat "$current"
+  } >"$BASELINE"
+  echo "tidy-check: baseline updated ($(wc -l <"$current") pairs)"
+  exit 0
+fi
+
+grep -v '^#' "$BASELINE" | grep -v '^$' | sort -u >"$BUILD_DIR/tidy_base.txt"
+comm -13 "$BUILD_DIR/tidy_base.txt" "$current" >"$delta"
+
+if [ -s "$delta" ]; then
+  echo "tidy-check: NEW findings not in $BASELINE:" >&2
+  sed 's/^/  /' "$delta" >&2
+  echo "tidy-check: fix them, or run scripts/tidy-check.sh" \
+       "--update-baseline and commit the baseline diff" >&2
+  exit 1
+fi
+
+stale=$(comm -23 "$BUILD_DIR/tidy_base.txt" "$current" | wc -l)
+if [ "$stale" -gt 0 ]; then
+  echo "tidy-check: note: $stale baseline pair(s) no longer fire —" \
+       "consider --update-baseline to burn them down" >&2
+fi
+echo "tidy-check: clean ($(wc -l <"$current") baselined finding pairs)"

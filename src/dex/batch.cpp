@@ -234,7 +234,7 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
     NodeId attach;
     std::uint32_t orig;  ///< index into req.attach_to (result ordering)
   };
-  std::vector<Pending> pending;
+  std::vector<Pending> joiners;
   // Tokens settle in an arbitrary order across epochs; write results by
   // original index so BatchResult::inserted matches attach_to order.
   res.inserted.assign(req.attach_to.size(), kInvalidNode);
@@ -242,17 +242,17 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
     const NodeId u = net.allocate_node();
     // allocate_node leaves the node dead; activate it.
     // (Insertion bookkeeping is done through the public hook below.)
-    pending.push_back({u, req.attach_to[i], i});
+    joiners.push_back({u, req.attach_to[i], i});
   }
   // Activate newcomers.
-  for (const auto& pnd : pending) net.activate_node(pnd.node);
+  for (const auto& pnd : joiners) net.activate_node(pnd.node);
 
-  for (std::uint64_t epoch = 0; !pending.empty() && epoch < 200; ++epoch) {
+  for (std::uint64_t epoch = 0; !joiners.empty() && epoch < 200; ++epoch) {
     ++res.walk_epochs;
     std::vector<sim::Token> tokens;
-    for (std::size_t i = 0; i < pending.size(); ++i) {
+    for (std::size_t i = 0; i < joiners.size(); ++i) {
       sim::Token t;
-      t.location = pending[i].attach;
+      t.location = joiners[i].attach;
       t.steps_remaining = walk_len;
       t.tag = static_cast<std::uint32_t>(i);
       tokens.push_back(t);
@@ -273,7 +273,7 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
     meter.add_messages(walk.messages);
     std::vector<Pending> remaining;
     for (const auto& t : walk.tokens) {
-      const Pending pnd = pending[t.tag];
+      const Pending pnd = joiners[t.tag];
       const NodeId w = static_cast<NodeId>(t.location);
       if (!t.finished || !net.try_assign_spare_vertex(pnd.node, w)) {
         remaining.push_back(pnd);
@@ -281,13 +281,13 @@ BatchResult apply_batch(DexNetwork& net, const BatchRequest& req,
         res.inserted[pnd.orig] = pnd.node;
       }
     }
-    pending.swap(remaining);
-    if (!pending.empty() && net.mapping().spare_count() < pending.size()) {
+    joiners.swap(remaining);
+    if (!joiners.empty() && net.mapping().spare_count() < joiners.size()) {
       net.force_simplified_inflate();
       res.used_type2 = true;
     }
   }
-  DEX_ASSERT_MSG(pending.empty(), "batch insertions did not converge");
+  DEX_ASSERT_MSG(joiners.empty(), "batch insertions did not converge");
 
   res.cost = net.finish_batch_step();
   return res;

@@ -35,6 +35,8 @@ void Dht::maybe_rehash() {
   // distance is O(log n). Sample it once per rehash for the charge.
   std::uint64_t mean_dist = 1;
   {
+    // det: epoch-derived constant seed — same stream for every run and
+    // deliberately decoupled from the trial seed (pure cost sampling).
     support::Rng probe(net_.cycle_epoch() * 1000003ULL + 17);
     std::uint64_t total = 0;
     const unsigned kSamples = 16;
@@ -44,8 +46,17 @@ void Dht::maybe_rehash() {
     }
     mean_dist = total / kSamples + 1;
   }
-  for (auto& [old_vertex, items] : store_) {
-    for (auto& kv : items) {
+  // Drain old hosts in sorted-vertex order: the per-home item vectors in
+  // `fresh` inherit this visit order, and hash-order iteration here would
+  // make item ordering (and any later scan over it) differ across standard
+  // library implementations.
+  std::vector<Vertex> old_hosts;
+  old_hosts.reserve(store_.size());
+  // det: key-collection only — visit order is erased by the sort below.
+  for (const auto& entry : store_) old_hosts.push_back(entry.first);
+  std::sort(old_hosts.begin(), old_hosts.end());
+  for (const Vertex old_vertex : old_hosts) {
+    for (auto& kv : store_[old_vertex]) {
       fresh[home(kv.first)].push_back(kv);
       rehash_messages_ += mean_dist;
     }
@@ -111,6 +122,7 @@ bool Dht::erase(std::uint64_t key, NodeId origin) {
 
 std::vector<std::size_t> Dht::items_per_alive_node() const {
   std::vector<std::size_t> per_node(net_.node_capacity(), 0);
+  // det: per-node integer sums — commutative, so visit order cannot leak.
   for (const auto& [z, items] : store_) {
     per_node[net_.mapping().owner(z)] += items.size();
   }

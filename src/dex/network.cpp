@@ -426,6 +426,8 @@ NodeId DexNetwork::handle_delete_recovery(NodeId victim) {
 
   // Open claims of the victim revert to their default generators.
   if (build_ && build_->claim_count[victim] > 0) {
+    // det: pure set-subtraction — the surviving map contents are identical
+    // for every erase order, and nothing is recorded per erase.
     for (auto it = build_->overrides.begin();
          it != build_->overrides.end();) {
       if (it->second == victim) {

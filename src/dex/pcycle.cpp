@@ -71,6 +71,7 @@ std::uint32_t PCycle::distance(Vertex x, Vertex y) const {
       // The first meeting gives a path; it may overshoot the true distance
       // by at most 1 level per side — tighten by scanning both tables.
       std::uint32_t best = static_cast<std::uint32_t>(met);
+      // det: min over all meeting vertices — commutative, order cannot leak.
       for (const auto& [v, dv] : dist_x) {
         auto it = dist_y.find(v);
         if (it != dist_y.end()) best = std::min(best, dv + it->second);

@@ -57,6 +57,8 @@ void ServeState::record_shed() {
 }
 
 void ServeState::depart_all_check() const {
+  // det: all-of assertion over the stations — order-independent by
+  // construction (every entry must be empty, none is reported first).
   for (const auto& entry : stations_) {
     DEX_ASSERT_MSG(entry.second.depth == 0, "drained with jobs still queued");
   }

@@ -42,6 +42,8 @@ bool ShardedKvServer::submit(const Request& req) {
       ++s.shed;
       return false;
     }
+    // det: real-thread demo server — wall-clock latency is the measurement
+    // itself here; the deterministic serve path lives in serve.cpp.
     s.queue.push_back(Job{req, std::chrono::steady_clock::now()});
   }
   s.cv.notify_one();
@@ -67,6 +69,7 @@ void ShardedKvServer::worker_loop(Shard& shard) {
     } else {
       shard.store[job.req.key] = job.req.value;
     }
+    // det: see submit() — measured wall-clock latency is this demo's output.
     const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                         std::chrono::steady_clock::now() - job.enqueued)
                         .count();

@@ -16,9 +16,13 @@ namespace dex::sim {
 // adversary's (raw seed), the overlay's or the traffic engine's derivation
 // would entangle the delivery schedule with the churn/request draws and
 // break the sync-equivalence-at-zero-latency pin.
+// This block is the salt *registry*: tools/det_lint.py (DET005) requires
+// every pair of k*SeedSalt constants to be pinned distinct by an exact
+// `a != b` static_assert here — add one when introducing a new stream.
 static_assert(kEventSeedSalt != 0);
 static_assert(kEventSeedSalt != kOverlaySeedSalt);
 static_assert(kEventSeedSalt != kTrafficSeedSalt);
+static_assert(kOverlaySeedSalt != kTrafficSeedSalt);
 static_assert(kEventSeedSalt != (kOverlaySeedSalt ^ kTrafficSeedSalt));
 
 namespace {
@@ -106,9 +110,12 @@ ScenarioResult EventEngine::run() {
   using Clock = std::chrono::steady_clock;
   const bool timing = spec_.time_phases;
   Clock::time_point mark;
+  // det: phase-timing instrumentation — feeds the perf-attribution JSON
+  // only, never simulation state, so wall-clock reads cannot leak.
   const auto tic = [&] {
     if (timing) mark = Clock::now();
   };
+  // det: see tic — instrumentation only.
   const auto toc = [&](double& acc) {
     if (timing)
       acc += std::chrono::duration<double, std::micro>(Clock::now() - mark)

@@ -22,8 +22,8 @@ struct Flight {
 
 }  // namespace
 
-RoutingResult route_packets(std::vector<Packet> packets, support::Rng& rng,
-                            std::uint64_t round_limit) {
+RoutingResult route_packets(const std::vector<Packet>& packets,
+                            support::Rng& rng, std::uint64_t round_limit) {
   RoutingResult res;
   std::vector<Flight> flights;
   flights.reserve(packets.size());
@@ -56,7 +56,11 @@ RoutingResult route_packets(std::vector<Packet> packets, support::Rng& rng,
     for (Flight& f : flights) {
       const auto& path = packets[f.packet_idx].path;
       if (f.position + 1 >= path.size()) continue;  // delivered
-      ++queue_depth[path[f.position]];
+      // Fold the round's queue maximum in at increment time: the depth map
+      // only ever grows within a round, so the running max equals the
+      // end-of-round scan it replaces — without iterating the unordered map
+      // in hash order.
+      res.max_queue = std::max(res.max_queue, ++queue_depth[path[f.position]]);
       const std::uint64_t key =
           edge_key(path[f.position], path[f.position + 1]);
       if (used_edges.contains(key)) continue;  // edge busy this round
@@ -65,8 +69,6 @@ RoutingResult route_packets(std::vector<Packet> packets, support::Rng& rng,
       ++res.messages;
       if (f.position + 1 >= path.size()) --active;
     }
-    for (const auto& [loc, depth] : queue_depth)
-      res.max_queue = std::max(res.max_queue, depth);
   }
 
   res.all_delivered = (active == 0);

@@ -34,7 +34,7 @@ struct RoutingResult {
 
 /// Routes all packets along their paths. round_limit guards against
 /// pathological inputs (paths are caller-provided).
-[[nodiscard]] RoutingResult route_packets(std::vector<Packet> packets,
+[[nodiscard]] RoutingResult route_packets(const std::vector<Packet>& packets,
                                           support::Rng& rng,
                                           std::uint64_t round_limit);
 

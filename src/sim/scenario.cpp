@@ -99,6 +99,8 @@ void CachedView::advance() {
   // Opt-in cross-check: DEX_CHECK_CSR=1 rebuilds a reference view after
   // every patch and asserts semantic equality (tests and debugging; the
   // rebuild obviously forfeits the incremental speedup).
+  // det: opt-in debug gate — flips extra *checking* on, never changes what
+  // the run computes or emits.
   static const bool check_csr = std::getenv("DEX_CHECK_CSR") != nullptr;
   if (check_csr && csr_valid_) {
     if (!mask_) mask_ = overlay_.alive_mask();
@@ -233,9 +235,12 @@ ScenarioResult ScenarioRunner::run() {
   using Clock = std::chrono::steady_clock;
   const bool timing = spec_.time_phases;
   Clock::time_point mark;
+  // det: phase-timing instrumentation — feeds the perf-attribution JSON
+  // only, never simulation state, so wall-clock reads cannot leak.
   const auto tic = [&] {
     if (timing) mark = Clock::now();
   };
+  // det: see tic — instrumentation only.
   const auto toc = [&](double& acc) {
     if (timing)
       acc += std::chrono::duration<double, std::micro>(Clock::now() - mark)

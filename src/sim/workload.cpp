@@ -142,6 +142,9 @@ KvStore::SyncStats KvStore::sync(const adversary::AdversaryView& view) {
     NodeId to;
   };
   std::vector<Move> moves;
+  // det: each placement updates independently of the others (per-key
+  // candidate merge + promotion), and every order-sensitive consumer runs
+  // off `moves`/`last_moved_`, which are sorted before use below.
   for (auto& [key, pl] : placed_) {
     const NodeId old_home = pl.home();
     if (!added.empty()) {
@@ -257,6 +260,7 @@ std::vector<std::uint64_t> KvStore::keys_at(
   for (const NodeId h : homes) {
     if (h < wanted.size()) wanted[h] = true;
   }
+  // det: filter-and-collect — visit order is erased by the sort below.
   for (const auto& [key, pl] : placed_) {
     const NodeId h = pl.home();
     if (h < wanted.size() && wanted[h]) out.push_back(key);

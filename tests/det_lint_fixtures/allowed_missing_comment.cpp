@@ -1,0 +1,9 @@
+// det_lint fixture: allowlisted but unjustified — must fail as DET901.
+#include <unordered_map>
+
+int drain_unjustified() {
+  std::unordered_map<int, int> bag;
+  int total = 0;
+  for (const auto& kv : bag) total += kv.second;
+  return total;
+}

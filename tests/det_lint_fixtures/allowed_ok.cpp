@@ -1,0 +1,10 @@
+// det_lint fixture: allowlisted + justified site — must stay silent.
+#include <unordered_map>
+
+int drain() {
+  std::unordered_map<int, int> bag;
+  int total = 0;
+  // det: commutative integer sum — visit order cannot leak.
+  for (const auto& kv : bag) total += kv.second;
+  return total;
+}

@@ -1,0 +1,18 @@
+// det_lint fixture: DET002 — every banned nondeterminism source.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long mix() {
+  std::random_device rd;
+  unsigned long x = rd();
+  x += static_cast<unsigned long>(rand());
+  srand(7);
+  x += static_cast<unsigned long>(time(nullptr));
+  x += static_cast<unsigned long>(clock());
+  x += static_cast<unsigned long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  if (getenv("FIXTURE")) ++x;
+  return x;
+}

@@ -1,0 +1,13 @@
+// det_lint fixture: DET006 — float accumulation inside parallel_for.
+#include <cstddef>
+
+template <typename Body>
+void parallel_for(std::size_t count, unsigned jobs, const Body& body);
+
+double total_cost(std::size_t n) {
+  double acc = 0.0;
+  parallel_for(n, 8, [&](std::size_t i) {
+    acc += static_cast<double>(i);
+  });
+  return acc;
+}

@@ -1,0 +1,5 @@
+// det_lint fixture: DET003 — pointer-keyed container.
+#include <map>
+
+struct Claim {};
+std::map<Claim*, int> g_claims;

@@ -1,0 +1,14 @@
+// det_lint fixture: DET004 — RNG constructions off the seed path.
+#include <random>
+
+#include "support/prng.h"
+
+void draw(dex::support::Rng& parent) {
+  std::mt19937 gen(42);
+  std::uniform_int_distribution<int> dist(0, 7);
+  dex::support::Rng fixed(12345);
+  dex::support::Rng defaulted;
+  dex::support::Rng fine(parent.split());
+  (void)gen;
+  (void)dist;
+}

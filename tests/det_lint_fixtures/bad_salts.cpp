@@ -1,0 +1,8 @@
+// det_lint fixture: DET005 — unpinned and non-constexpr salts.
+#include <cstdint>
+
+inline constexpr std::uint64_t kAlphaSeedSalt = 0x1111;
+inline constexpr std::uint64_t kBetaSeedSalt = 0x2222;
+static std::uint64_t kGammaSeedSalt = 0x3333;
+static_assert(kAlphaSeedSalt != kBetaSeedSalt);
+static_assert(kAlphaSeedSalt != (kBetaSeedSalt ^ 0x7777));

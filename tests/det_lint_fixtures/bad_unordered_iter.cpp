@@ -1,0 +1,13 @@
+// det_lint fixture: DET001 — unordered iteration feeding a sink.
+#include <unordered_map>
+#include <unordered_set>
+
+void sink(int);
+
+void emit_all() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  for (const auto& kv : counts) sink(kv.second);
+  std::unordered_set<long> seen;
+  for (auto it = seen.begin(); it != seen.end(); ++it) sink(1);
+}

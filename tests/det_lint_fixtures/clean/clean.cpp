@@ -1,0 +1,14 @@
+// det_lint fixture: deterministic code — every rule must stay silent.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/prng.h"
+
+std::uint64_t draw_sorted(std::uint64_t trial_seed, std::vector<int>& v) {
+  dex::support::Rng rng(trial_seed ^ 0x9e37ULL);
+  std::sort(v.begin(), v.end());
+  std::uint64_t total = 0;
+  for (int x : v) total += static_cast<std::uint64_t>(x);
+  return total + rng();
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fixture self-test for tools/det_lint.py (registered in ctest).
+
+Three contracts:
+  1. the fixture tree produces *exactly* the diagnostics in
+     tests/det_lint_fixtures/expected.txt (known-bad snippets -> exact
+     lines, covering every rule incl. the DET900/DET901 allowlist paths);
+  2. the allowlist round-trips: the justified allowlisted fixture stays
+     silent while the unjustified one fails, and a clean fixture subtree
+     exits 0;
+  3. the real tree is clean: det_lint.py with repo defaults exits 0 (the
+     same invocation scripts/det-lint.sh gates CI with).
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+LINT = os.path.join(ROOT, "tools", "det_lint.py")
+FIXTURES = os.path.join(HERE, "det_lint_fixtures")
+
+
+def run(*args):
+    proc = subprocess.run([sys.executable, LINT, *args],
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout
+
+
+def fail(name, detail):
+    print("FAIL %s\n%s" % (name, detail))
+    return 1
+
+
+def main():
+    failures = 0
+
+    # 1. Exact diagnostics over the fixture tree.
+    code, out = run("--root", FIXTURES, "--scan", ".",
+                    "--allowlist", os.path.join(FIXTURES, "allow.txt"))
+    with open(os.path.join(FIXTURES, "expected.txt"), encoding="utf-8") as f:
+        expected = f.read()
+    if code != 1:
+        failures += fail("fixture exit code", "want 1, got %d" % code)
+    if out != expected:
+        import difflib
+        diff = "\n".join(difflib.unified_diff(
+            expected.splitlines(), out.splitlines(),
+            "expected.txt", "actual", lineterm=""))
+        failures += fail("fixture diagnostics drifted", diff)
+
+    # 2a. Allowlist round-trip: justified entry silent, unjustified loud.
+    if "allowed_ok.cpp" in out:
+        failures += fail("allowlist round-trip",
+                         "justified allowlisted site was reported")
+    if "allowed_missing_comment.cpp:7: DET901" not in out:
+        failures += fail("allowlist justification check",
+                         "unjustified allowlisted site was NOT reported")
+    if "gone.cpp:0: DET900" not in out:
+        failures += fail("stale allowlist check",
+                         "stale entry was NOT reported")
+
+    # 2b. Clean fixture subtree exits 0.
+    code, out = run("--root", FIXTURES, "--scan", "clean")
+    if code != 0:
+        failures += fail("clean fixture run", "want exit 0, got %d:\n%s" %
+                         (code, out))
+
+    # 3. The real tree is clean under the repo defaults.
+    code, out = run()
+    if code != 0:
+        failures += fail("repo tree not det_lint-clean", out)
+
+    if failures:
+        print("%d check(s) failed" % failures)
+        return 1
+    print("test_det_lint: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
